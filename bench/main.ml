@@ -1,0 +1,165 @@
+(* Bechamel benchmarks: one per paper table (the kernel that regenerates
+   it) plus micro-benchmarks for every substrate. Run with
+
+     dune exec bench/main.exe
+
+   Absolute table content comes from bin/experiments.exe; this harness
+   measures the cost of the computational kernels behind each exhibit. *)
+
+open Bechamel
+open Toolkit
+
+let process = Tech.Process.default
+
+let lib = Tech.Lib.default_library
+
+(* shared inputs, built once *)
+let nets20 = lazy (Workload.trees process (Workload.generate { Workload.default_config with nets = 20 }))
+
+let rep_tree =
+  (* a representative many-sink workload net *)
+  lazy
+    (let cfg = { Workload.default_config with nets = 30; seed = 4 } in
+     let nets = Workload.trees process (Workload.generate cfg) in
+     match List.find_opt (fun (n, _) -> Steiner.Net.degree n >= 5) nets with
+     | Some (_, t) -> t
+     | None -> snd (List.hd nets))
+
+let rep_seg = lazy (Rctree.Segment.refine (Lazy.force rep_tree) ~max_len:500e-6)
+
+let line12 = lazy (Fixtures.two_pin process ~len:12e-3)
+
+let table_tests =
+  [
+    Test.make ~name:"table1_workload_generation"
+      (Staged.stage (fun () ->
+           Workload.trees process (Workload.generate { Workload.default_config with nets = 20 })));
+    Test.make ~name:"table2_buffopt_plus_simulation"
+      (Staged.stage (fun () ->
+           let tree = Lazy.force rep_tree in
+           match Bufins.Buffopt.optimize Bufins.Buffopt.Buffopt ~lib tree with
+           | Some r -> Noisesim.Verify.net process r.Bufins.Buffopt.report.Bufins.Eval.tree
+           | None -> failwith "infeasible"));
+    Test.make ~name:"table3_delayopt4"
+      (Staged.stage (fun () ->
+           Bufins.Vangin.run_max ~max_buffers:4 ~lib (Lazy.force rep_seg)));
+    Test.make ~name:"table3_buffopt"
+      (Staged.stage (fun () -> Bufins.Buffopt.problem3 ~kmax:16 ~lib (Lazy.force rep_seg)));
+    Test.make ~name:"table4_delayopt_by_count"
+      (Staged.stage (fun () -> Bufins.Vangin.by_count ~kmax:8 ~lib (Lazy.force rep_seg)));
+  ]
+
+let ann_line =
+  lazy
+    (let t =
+       Rctree.Tree.map_wires (Fixtures.two_pin process ~len:6e-3) (fun _ w ->
+           { w with Rctree.Tree.cur = 0.0 })
+     in
+     Coupling.annotate t
+       ~spans:
+         [
+           ( 1,
+             [
+               {
+                 Coupling.near = 0.0;
+                 far = 6e-3;
+                 lambda = 0.5;
+                 slope = Tech.Process.slope process;
+               };
+             ] );
+         ])
+
+let algorithm_tests =
+  [
+    Test.make ~name:"multisource_bidir_bus"
+      (Staged.stage (fun () ->
+           let t = Fixtures.two_pin ~r_drv:100.0 ~c_sink:15e-15 process ~len:10e-3 in
+           Bufins.Multisource.run ~lib
+             ~old_source:{ Rctree.Tree.sname = "a"; c_sink = 15e-15; rat = 2e-9; nm = 0.8 }
+             ~ports:[ { Bufins.Multisource.pnode = 1; p_r_drv = 120.0; p_d_drv = 30e-12 } ]
+             t));
+    Test.make ~name:"buffopt_coupled_annotation"
+      (Staged.stage (fun () ->
+           Bufins.Buffopt.optimize_coupled Bufins.Buffopt.Buffopt ~lib (Lazy.force ann_line)));
+    Test.make ~name:"alg1_12mm_line" (Staged.stage (fun () -> Bufins.Alg1.run ~lib (Lazy.force line12)));
+    Test.make ~name:"alg2_multisink" (Staged.stage (fun () -> Bufins.Alg2.run ~lib (Lazy.force rep_tree)));
+    Test.make ~name:"alg3_max_slack" (Staged.stage (fun () -> Bufins.Alg3.run ~lib (Lazy.force rep_seg)));
+    Test.make ~name:"vangin_max_slack"
+      (Staged.stage (fun () -> Bufins.Vangin.run ~lib (Lazy.force rep_seg)));
+    Test.make ~name:"wiresize_noise_aware"
+      (Staged.stage (fun () -> Bufins.Wiresize.run ~noise:true ~lib (Lazy.force rep_seg)));
+    Test.make ~name:"theorem1_max_safe_length"
+      (Staged.stage (fun () ->
+           Noise.max_safe_length ~r_b:36.0 ~i_down:1e-3 ~ns:0.8
+             ~r_per_m:process.Tech.Process.r_per_m ~i_per_m:(Tech.Process.i_per_m process)));
+  ]
+
+let design = lazy (Sta.Gen.random { Sta.Gen.default_config with Sta.Gen.gates = 60; seed = 3 })
+
+let design_tests =
+  [
+    Test.make ~name:"sta_analyze"
+      (Staged.stage (fun () -> Sta.Engine.analyze process (Lazy.force design)));
+    Test.make ~name:"flow_optimize_60_gates"
+      (Staged.stage (fun () -> Sta.Flow.optimize process ~lib (Lazy.force design)));
+  ]
+
+let bus_routed =
+  lazy (List.map (Extract.route process) (Workload.parallel_bus ~bits:16 ~len:10_000_000 ()))
+
+let substrate_tests =
+  [
+    Test.make ~name:"extract_16bit_bus"
+      (Staged.stage (fun () ->
+           let routed = Lazy.force bus_routed in
+           let victim = List.nth routed 8 in
+           Extract.victim_spans (Extract.default_config process) ~victim
+             ~aggressors:(List.filteri (fun i _ -> i <> 8) routed)));
+    Test.make ~name:"steiner_20_nets"
+      (Staged.stage (fun () ->
+           List.map (fun (n, _) -> Steiner.Build.of_net n) (Lazy.force nets20)));
+    Test.make ~name:"segment_refine"
+      (Staged.stage (fun () -> Rctree.Segment.refine (Lazy.force rep_tree) ~max_len:250e-6));
+    Test.make ~name:"elmore_arrivals" (Staged.stage (fun () -> Elmore.arrivals (Lazy.force rep_seg)));
+    Test.make ~name:"devgan_leaf_noise" (Staged.stage (fun () -> Noise.leaf_noise (Lazy.force rep_seg)));
+    Test.make ~name:"moments_order3"
+      (Staged.stage (fun () -> Moments.stage_moments (Lazy.force rep_seg) ~order:3));
+    Test.make ~name:"noisesim_one_stage"
+      (Staged.stage (fun () ->
+           let tree = Lazy.force rep_tree in
+           let cfg = Noisesim.Deck.default_config process in
+           let deck = Noisesim.Deck.of_stage cfg tree ~gate:(Rctree.Tree.root tree) in
+           Noisesim.Deck.peak_noise cfg deck));
+  ]
+
+let all_tests =
+  Test.make_grouped ~name:"buffopt"
+    [
+      Test.make_grouped ~name:"tables" table_tests;
+      Test.make_grouped ~name:"algorithms" algorithm_tests;
+      Test.make_grouped ~name:"substrates" substrate_tests;
+      Test.make_grouped ~name:"design" design_tests;
+    ]
+
+let () =
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] all_tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  Printf.printf "%-55s %15s\n" "benchmark" "time/run";
+  Printf.printf "%s\n" (String.make 72 '-');
+  List.iter
+    (fun (name, ols) ->
+      let ns =
+        match Analyze.OLS.estimates ols with Some [ est ] -> est | Some _ | None -> nan
+      in
+      let pretty =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1e9 then Printf.sprintf "%8.2f s" (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+        else Printf.sprintf "%8.0f ns" ns
+      in
+      Printf.printf "%-55s %15s\n" name pretty)
+    (List.sort compare rows)

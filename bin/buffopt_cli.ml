@@ -1,0 +1,197 @@
+(* buffopt: command-line buffer insertion for noise and delay.
+   Net files are parsed by [Steiner.Netfile], design files by
+   [Sta.Netfmt]; see those modules for the formats. *)
+
+let process = Tech.Process.default
+
+let lib = Tech.Lib.default_library
+
+let algo_of_string = function
+  | "buffopt" -> Ok Bufins.Buffopt.Buffopt
+  | "alg3" -> Ok Bufins.Buffopt.Alg3_max_slack
+  | "vangin" | "delayopt" -> Ok Bufins.Buffopt.Vangin_max_slack
+  | s -> (
+      match String.index_opt s '-' with
+      | Some i when String.sub s 0 i = "delayopt" -> (
+          match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+          | Some k -> Ok (Bufins.Buffopt.Delayopt k)
+          | None -> Error (`Msg ("bad algorithm: " ^ s)))
+      | _ -> Error (`Msg ("bad algorithm: " ^ s)))
+
+let describe_report prefix (r : Bufins.Eval.report) =
+  Printf.printf "%s: buffers=%d slack=%.1f ps worst-delay=%.1f ps noise-violations=%d\n" prefix
+    r.Bufins.Eval.buffers (r.Bufins.Eval.slack *. 1e12)
+    (r.Bufins.Eval.worst_delay *. 1e12)
+    (List.length r.Bufins.Eval.noise_violations)
+
+let run_cmd file algo seg_um kmax simulate =
+  match algo_of_string algo with
+  | Error (`Msg m) ->
+      prerr_endline m;
+      1
+  | Ok algorithm -> (
+      let net = Steiner.Netfile.read file in
+      let tree = Steiner.Build.tree_of_net process net in
+      describe_report "unbuffered" (Bufins.Eval.of_tree tree);
+      match
+        Bufins.Buffopt.optimize ~seg_len:(seg_um *. 1e-6) ~kmax algorithm ~lib tree
+      with
+      | None ->
+          prerr_endline "no noise-feasible solution found";
+          1
+      | Some r ->
+          describe_report "optimized" r.Bufins.Buffopt.report;
+          List.iter
+            (fun (p : Rctree.Surgery.placement) ->
+              Printf.printf "  insert %s on the parent wire of node %d, %.1f um above it\n"
+                p.Rctree.Surgery.buffer.Tech.Buffer.name p.Rctree.Surgery.node
+                (p.Rctree.Surgery.dist *. 1e6))
+            r.Bufins.Buffopt.placements;
+          if simulate then begin
+            let v = Noisesim.Verify.net process r.Bufins.Buffopt.report.Bufins.Eval.tree in
+            Printf.printf "simulation: %d violating leaves (metric bound holds: %b)\n"
+              v.Noisesim.Verify.sim_violations v.Noisesim.Verify.bound_ok
+          end;
+          0)
+
+let report_cmd file simulate =
+  let net = Steiner.Netfile.read file in
+  let tree = Steiner.Build.tree_of_net process net in
+  let r = Bufins.Eval.of_tree tree in
+  describe_report "unbuffered" r;
+  List.iter
+    (fun (v, noise, margin) ->
+      Printf.printf "  leaf %d: metric noise %.3f V (margin %.2f V)\n" v noise margin;
+      if noise > margin then
+        (* name the spans a designer would move, shield or buffer *)
+        List.iteri
+          (fun i (c : Noise.contribution) ->
+            if i < 3 then
+              match c.Noise.element with
+              | `Driver g -> Printf.printf "      %.3f V from the driver at node %d\n" c.Noise.amount g
+              | `Wire w ->
+                  Printf.printf "      %.3f V from the %.2f mm wire above node %d\n" c.Noise.amount
+                    ((Rctree.Tree.wire_to tree w).Rctree.Tree.length *. 1e3)
+                    w)
+          (Noise.attribute tree ~leaf:v))
+    (Noise.leaf_noise tree);
+  if simulate then begin
+    let v = Noisesim.Verify.net process tree in
+    List.iter
+      (fun (l : Noisesim.Verify.leaf_report) ->
+        Printf.printf "  leaf %d: simulated peak %.3f V\n" l.Noisesim.Verify.leaf
+          l.Noisesim.Verify.peak)
+      v.Noisesim.Verify.leaves
+  end;
+  0
+
+let dot_cmd file out optimize =
+  let net = Steiner.Netfile.read file in
+  let tree = Steiner.Build.tree_of_net process net in
+  let tree =
+    if not optimize then tree
+    else
+      match Bufins.Buffopt.optimize Bufins.Buffopt.Buffopt ~lib tree with
+      | Some r -> r.Bufins.Buffopt.report.Bufins.Eval.tree
+      | None -> tree
+  in
+  (match out with
+  | Some path -> Rctree.Dot.to_file ~name:net.Steiner.Net.nname tree path
+  | None -> print_string (Rctree.Dot.render ~name:net.Steiner.Net.nname tree));
+  0
+
+let flow_cmd file iterations cells =
+  let cells = Option.map Sta.Cellfile.read cells in
+  let design = Sta.Netfmt.read ?cells file in
+  Printf.printf "design: %s\n" (Sta.Design.stats design);
+  let r = Sta.Flow.optimize ~iterations process ~lib design in
+  print_endline (Sta.Flow.summary r);
+  if r.Sta.Flow.after.Sta.Engine.noisy_nets > 0 || r.Sta.Flow.after.Sta.Engine.wns < 0.0 then 1
+  else 0
+
+let gen_design_cmd gates seed out =
+  let design = Sta.Gen.random { Sta.Gen.default_config with Sta.Gen.gates; seed } in
+  (match out with
+  | Some path -> Sta.Netfmt.write path design
+  | None -> print_string (Sta.Netfmt.to_string design));
+  0
+
+let sample_cmd () =
+  print_string Steiner.Netfile.sample;
+  0
+
+open Cmdliner
+
+let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"NETFILE")
+
+let algo_arg =
+  Arg.(
+    value
+    & opt string "buffopt"
+    & info [ "algo" ] ~docv:"ALGO"
+        ~doc:"One of buffopt, alg3, vangin, delayopt-$(i,k) (e.g. delayopt-4).")
+
+let seg_arg =
+  Arg.(value & opt float 500.0 & info [ "seg" ] ~docv:"UM" ~doc:"Wire-segmenting length, um.")
+
+let kmax_arg =
+  Arg.(value & opt int 16 & info [ "kmax" ] ~docv:"K" ~doc:"Buffer-count search bound.")
+
+let sim_arg =
+  Arg.(value & flag & info [ "simulate" ] ~doc:"Also run the transient noise simulator.")
+
+let () =
+  let run =
+    Cmd.v
+      (Cmd.info "run" ~doc:"Optimize a net and print the buffer placements.")
+      Term.(const run_cmd $ file_arg $ algo_arg $ seg_arg $ kmax_arg $ sim_arg)
+  in
+  let report =
+    Cmd.v
+      (Cmd.info "report" ~doc:"Analyze a net without inserting buffers.")
+      Term.(const report_cmd $ file_arg $ sim_arg)
+  in
+  let sample =
+    Cmd.v (Cmd.info "sample" ~doc:"Print a sample net file.") Term.(const sample_cmd $ const ())
+  in
+  let dot =
+    let out =
+      Arg.(value & opt (some string) None & info [ "o" ] ~docv:"FILE" ~doc:"Output path.")
+    in
+    let optimize =
+      Arg.(value & flag & info [ "optimize" ] ~doc:"Render the BuffOpt solution, not the raw tree.")
+    in
+    Cmd.v
+      (Cmd.info "dot" ~doc:"Export the routing tree as Graphviz.")
+      Term.(const dot_cmd $ file_arg $ out $ optimize)
+  in
+  let flow =
+    let iters =
+      Arg.(value & opt int 2 & info [ "iterations" ] ~docv:"N" ~doc:"STA/optimize rounds.")
+    in
+    let cells =
+      Arg.(
+        value
+        & opt (some file) None
+        & info [ "cells" ] ~docv:"FILE" ~doc:"Cell library file (see Sta.Cellfile).")
+    in
+    Cmd.v
+      (Cmd.info "flow"
+         ~doc:"Run the STA-driven whole-design flow on a design file (see buffopt gen-design).")
+      Term.(const flow_cmd $ file_arg $ iters $ cells)
+  in
+  let gen_design =
+    let gates = Arg.(value & opt int 120 & info [ "gates" ] ~docv:"N" ~doc:"Gate count.") in
+    let seed = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"S" ~doc:"Generator seed.") in
+    let out =
+      Arg.(value & opt (some string) None & info [ "o" ] ~docv:"FILE" ~doc:"Output path.")
+    in
+    Cmd.v
+      (Cmd.info "gen-design" ~doc:"Emit a random design file for the flow.")
+      Term.(const gen_design_cmd $ gates $ seed $ out)
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group
+          (Cmd.info "buffopt" ~doc:"Buffer insertion for noise and delay optimization.")
+          [ run; report; sample; dot; flow; gen_design ]))

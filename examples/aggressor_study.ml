@@ -1,0 +1,47 @@
+(* Coupling-ratio study (eqs. 16-17): how aggressive a neighbour can a
+   wire tolerate before it needs a buffer, what spacing that implies
+   under the lambda = kappa / spacing model, and how the transient
+   simulator tracks the metric across the sweep.
+
+     dune exec examples/aggressor_study.exe *)
+
+let process = Tech.Process.default
+
+let () =
+  let b = Tech.Lib.min_resistance Tech.Lib.default_library in
+  let r_b = b.Tech.Buffer.r_b in
+  let r_per_m = process.Tech.Process.r_per_m in
+  let c_per_m = process.Tech.Process.c_per_m in
+  let slope = Tech.Process.slope process in
+  let ns = process.Tech.Process.nm_default in
+
+  Printf.printf "largest tolerable coupling ratio for a %s-driven wire (eq. 16):\n"
+    b.Tech.Buffer.name;
+  Printf.printf "  %-12s %-12s %-22s\n" "length (mm)" "lambda_max" "min spacing (kappa=0.35)";
+  List.iter
+    (fun len_mm ->
+      let lambda =
+        Noise.lambda_bound ~r_b ~i_down:0.0 ~ns ~r_per_m ~c_per_m ~slope ~length:(len_mm *. 1e-3)
+      in
+      let spacing =
+        (* lambda = kappa / spacing, spacing in pitch units *)
+        if lambda <= 0.0 then infinity else 0.35 /. lambda
+      in
+      Printf.printf "  %-12.1f %-12.3f %-22s\n" len_mm lambda
+        (if lambda >= 1.0 then "any neighbour is safe"
+         else Printf.sprintf "%.2f pitches" spacing))
+    [ 1.0; 2.0; 3.0; 4.0; 5.0; 6.0 ];
+
+  (* simulate a 3 mm wire across coupling ratios and compare to the metric *)
+  print_newline ();
+  Printf.printf "3 mm wire, 100 ohm driver: metric vs transient simulation\n";
+  Printf.printf "  %-8s %-12s %-12s %-8s\n" "lambda" "metric (V)" "sim (V)" "ratio";
+  List.iter
+    (fun lambda ->
+      let p = { process with Tech.Process.lambda } in
+      let tree = Fixtures.two_pin p ~len:3e-3 in
+      let metric = match Noise.leaf_noise tree with [ (_, n, _) ] -> n | _ -> assert false in
+      let rep = Noisesim.Verify.net p tree in
+      let peak = (List.hd rep.Noisesim.Verify.leaves).Noisesim.Verify.peak in
+      Printf.printf "  %-8.2f %-12.3f %-12.3f %-8.2f\n" lambda metric peak (metric /. peak))
+    [ 0.1; 0.3; 0.5; 0.7; 0.9 ]

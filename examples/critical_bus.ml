@@ -1,0 +1,61 @@
+(* A 14 mm point-to-point bus wire — the Fig. 6/7 setting: Theorem 1's
+   maximal spacing, Algorithm 1's placement, and what delay-only
+   optimization would have done instead.
+
+     dune exec examples/critical_bus.exe *)
+
+module T = Rctree.Tree
+
+let process = Tech.Process.default
+
+let lib = Tech.Lib.default_library
+
+let show tag (r : Bufins.Eval.report) =
+  Printf.printf "%-22s %d buffers, delay %6.0f ps, worst noise/margin %.2f, violations %d\n" tag
+    r.Bufins.Eval.buffers
+    (r.Bufins.Eval.worst_delay *. 1e12)
+    r.Bufins.Eval.worst_noise_ratio
+    (List.length r.Bufins.Eval.noise_violations)
+
+let () =
+  let len = 14e-3 in
+  let tree = Fixtures.two_pin ~r_drv:150.0 ~rat:2e-9 process ~len in
+
+  (* Theorem 1: how far apart can the strongest buffer's repeaters be? *)
+  let b = Tech.Lib.min_resistance lib in
+  (match
+     Noise.max_safe_length ~r_b:b.Tech.Buffer.r_b ~i_down:0.0 ~ns:process.Tech.Process.nm_default
+       ~r_per_m:process.Tech.Process.r_per_m ~i_per_m:(Tech.Process.i_per_m process)
+   with
+  | Some l ->
+      Printf.printf "Theorem 1: %s may drive at most %.2f mm of coupled wire (0.8 V margin)\n"
+        b.Tech.Buffer.name (l *. 1e3)
+  | None -> assert false);
+  Printf.printf "the bus is %.0f mm, so at least %.0f buffers are needed for noise alone\n\n"
+    (len *. 1e3)
+    (Float.of_int (Bufins.Alg1.run ~lib tree).Bufins.Alg1.count);
+
+  show "unbuffered" (Bufins.Eval.of_tree tree);
+
+  (* Algorithm 1: minimum buffers for noise, placed at maximal offsets *)
+  let a1 = Bufins.Alg1.run ~lib tree in
+  show "Algorithm 1 (noise)" (Bufins.Eval.apply tree a1.Bufins.Alg1.placements);
+  List.iter
+    (fun (p : Rctree.Surgery.placement) ->
+      Printf.printf "    %s at %.2f mm from the sink\n" p.Rctree.Surgery.buffer.Tech.Buffer.name
+        (p.Rctree.Surgery.dist *. 1e3))
+    a1.Bufins.Alg1.placements;
+
+  (* Delay-only optimization inserts more buffers for speed... *)
+  (match Bufins.Buffopt.optimize Bufins.Buffopt.Vangin_max_slack ~lib tree with
+  | Some r -> show "Van Ginneken (delay)" r.Bufins.Buffopt.report
+  | None -> assert false);
+
+  (* ...while Algorithm 3 gets the same speed noise-safely, and BuffOpt
+     backs off to the fewest buffers that still meet the 2 ns RAT. *)
+  (match Bufins.Buffopt.optimize Bufins.Buffopt.Alg3_max_slack ~lib tree with
+  | Some r -> show "Algorithm 3" r.Bufins.Buffopt.report
+  | None -> assert false);
+  match Bufins.Buffopt.optimize Bufins.Buffopt.Buffopt ~lib tree with
+  | Some r -> show "BuffOpt (problem 3)" r.Bufins.Buffopt.report
+  | None -> assert false

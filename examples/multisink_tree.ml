@@ -1,0 +1,67 @@
+(* A realistic multi-sink net with mixed static and dynamic-logic sinks:
+   Algorithm 2's forced-branch decisions, and how the three optimizers
+   trade buffers for slack.
+
+     dune exec examples/multisink_tree.exe *)
+
+module T = Rctree.Tree
+
+let process = Tech.Process.default
+
+let lib = Tech.Lib.default_library
+
+let () =
+  (* an 8-sink net spread over ~10 x 6 mm; two sinks are noise-sensitive
+     dynamic-logic inputs (0.5 V margin) *)
+  let pin name x y nm =
+    { Steiner.Net.pname = name; at = Geometry.Point.make x y; c_sink = 25e-15; rat = 1.5e-9; nm }
+  in
+  let net =
+    Steiner.Net.make ~name:"fanout8" ~source:(Geometry.Point.make 0 3_000_000) ~r_drv:100.0
+      ~d_drv:40e-12
+      ~pins:
+        [
+          pin "s0" 2_500_000 5_500_000 0.8;
+          pin "s1" 4_000_000 6_000_000 0.8;
+          pin "s2" 6_500_000 5_000_000 0.5;
+          pin "s3" 9_500_000 5_800_000 0.8;
+          pin "s4" 3_000_000 500_000 0.8;
+          pin "s5" 5_500_000 1_000_000 0.5;
+          pin "s6" 8_000_000 200_000 0.8;
+          pin "s7" 10_000_000 2_500_000 0.8;
+        ]
+  in
+  let tree = Steiner.Build.tree_of_net process net in
+  Format.printf "net: %d sinks, %.1f mm of wire, %a@." (List.length (T.sinks tree))
+    (T.total_wirelength tree *. 1e3)
+    T.pp_summary tree;
+
+  let before = Bufins.Eval.of_tree tree in
+  Printf.printf "unbuffered: %d noise violations, worst noise/margin = %.2f\n"
+    (List.length before.Bufins.Eval.noise_violations)
+    before.Bufins.Eval.worst_noise_ratio;
+
+  (* Problem 1: fewest buffers for noise alone, continuous placement *)
+  let a2 = Bufins.Alg2.run ~lib tree in
+  let a2_report = Bufins.Eval.apply tree a2.Bufins.Alg2.placements in
+  Printf.printf "\nAlgorithm 2 (problem 1): %d buffers, violations %d, delay %.0f ps\n"
+    a2.Bufins.Alg2.count
+    (List.length a2_report.Bufins.Eval.noise_violations)
+    (a2_report.Bufins.Eval.worst_delay *. 1e12);
+
+  (* Problems 2 and 3 on the segmented tree *)
+  List.iter
+    (fun (tag, algo) ->
+      match Bufins.Buffopt.optimize algo ~lib tree with
+      | Some r ->
+          Printf.printf "%-24s %d buffers, slack %7.0f ps, violations %d\n" tag
+            r.Bufins.Buffopt.count
+            (r.Bufins.Buffopt.report.Bufins.Eval.slack *. 1e12)
+            (List.length r.Bufins.Buffopt.report.Bufins.Eval.noise_violations)
+      | None -> Printf.printf "%-24s infeasible\n" tag)
+    [
+      ("Van Ginneken (delay)", Bufins.Buffopt.Vangin_max_slack);
+      ("Algorithm 3 (problem 2)", Bufins.Buffopt.Alg3_max_slack);
+      ("BuffOpt (problem 3)", Bufins.Buffopt.Buffopt);
+      ("DelayOpt(2)", Bufins.Buffopt.Delayopt 2);
+    ]

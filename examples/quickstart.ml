@@ -1,0 +1,53 @@
+(* Quickstart: route a small placed net, check its noise and timing, and
+   let BuffOpt fix it.
+
+     dune exec examples/quickstart.exe *)
+
+let () =
+  let process = Tech.Process.default in
+  let lib = Tech.Lib.default_library in
+
+  (* 1. Describe a placed net: a driver and three sinks, coordinates in
+     nanometres (about a 9 x 5 mm spread). *)
+  let pin name x y =
+    {
+      Steiner.Net.pname = name;
+      at = Geometry.Point.make x y;
+      c_sink = 20e-15;
+      rat = 1.2e-9;
+      nm = 0.8;
+    }
+  in
+  let net =
+    Steiner.Net.make ~name:"quickstart" ~source:(Geometry.Point.make 0 0) ~r_drv:120.0
+      ~d_drv:30e-12
+      ~pins:[ pin "alu" 9_000_000 1_000_000; pin "lsu" 7_000_000 4_800_000; pin "fpu" 4_000_000 2_500_000 ]
+  in
+
+  (* 2. Build a Steiner topology and look at the unoptimized tree. *)
+  let tree = Steiner.Build.tree_of_net process net in
+  let before = Bufins.Eval.of_tree tree in
+  Printf.printf "before: slack = %.0f ps, noise violations = %d\n"
+    (before.Bufins.Eval.slack *. 1e12)
+    (List.length before.Bufins.Eval.noise_violations);
+
+  (* 3. BuffOpt (Problem 3): fewest buffers meeting both noise margins and
+     required arrival times. *)
+  (match Bufins.Buffopt.optimize Bufins.Buffopt.Buffopt ~lib tree with
+  | None -> print_endline "no feasible solution (try finer segmenting)"
+  | Some r ->
+      Printf.printf "after:  slack = %.0f ps, noise violations = %d, buffers = %d\n"
+        (r.Bufins.Buffopt.report.Bufins.Eval.slack *. 1e12)
+        (List.length r.Bufins.Buffopt.report.Bufins.Eval.noise_violations)
+        r.Bufins.Buffopt.count;
+      List.iter
+        (fun (p : Rctree.Surgery.placement) ->
+          Printf.printf "  %s inserted %.2f mm above node %d\n"
+            p.Rctree.Surgery.buffer.Tech.Buffer.name
+            (p.Rctree.Surgery.dist *. 1e3) p.Rctree.Surgery.node)
+        r.Bufins.Buffopt.placements;
+
+      (* 4. Cross-check with the transient noise simulator (3dnoise role). *)
+      let v = Noisesim.Verify.net process r.Bufins.Buffopt.report.Bufins.Eval.tree in
+      Printf.printf "simulation: %d violating leaves; metric upper bound holds: %b\n"
+        v.Noisesim.Verify.sim_violations v.Noisesim.Verify.bound_ok)

@@ -1,0 +1,28 @@
+(** Algorithm 1: optimal noise avoidance for single-sink trees
+    (paper Section III-B, Fig. 8).
+
+    Climbs from the sink towards the source, maintaining the downstream
+    coupled current and noise slack. Whenever driving the remaining wire
+    from its top with a buffer would violate the noise constraint, a
+    buffer is inserted at the maximal distance allowed by Theorem 1 —
+    inserting as high as possible is what makes the buffer count minimal
+    (Theorem 3). Finally, if the source's own resistance still violates
+    the constraint, a buffer is placed immediately below the source
+    (possible only when [r_b < r_drv]).
+
+    Buffers are placed at arbitrary points on wires (new nodes are
+    created), so no prior wire segmenting is needed, and multiple buffers
+    can land on one long wire (Fig. 7). With a multi-buffer library only
+    the smallest-resistance buffer matters (Section III-B), so the
+    library is reduced with [Tech.Lib.min_resistance]. *)
+
+type result = {
+  placements : Rctree.Surgery.placement list;
+  count : int;
+  ns_at_source : float;  (** noise slack left at the source *)
+}
+
+val run : lib:Tech.Buffer.t list -> Rctree.Tree.t -> result
+(** Raises [Invalid_argument] if the tree has more than one sink or an
+    empty library. The returned solution has no noise violations
+    (checkable with [Eval.apply]). *)

@@ -1,0 +1,27 @@
+(** Algorithm 2: optimal noise avoidance for multi-sink trees
+    (paper Section III-C, Fig. 9).
+
+    A bottom-up candidate propagation in the spirit of Van Ginneken's
+    algorithm: every node carries a list of [(current, noise-slack,
+    solution)] candidates. Single-child spans reuse the Theorem-1 wire
+    climb of Algorithm 1 (deterministic per candidate). At a two-child
+    merge, if joining two candidates would leave the node un-rescuable
+    ([r_b * (i_l + i_r) > min ns_l ns_r]), a buffer must go immediately
+    below the node on the left {e or} the right branch — which one is
+    optimal depends on the yet-unseen upstream, so both candidates are
+    generated and propagated (this is the only branching; Theorem 4).
+    Dominated candidates are pruned; the dominance test also compares
+    buffer counts so the final minimum-count selection is exact.
+
+    As with Algorithm 1, only the smallest-resistance buffer of the
+    library is ever useful. *)
+
+type result = {
+  placements : Rctree.Surgery.placement list;
+  count : int;
+  candidates_seen : int;  (** total candidates generated (for Ablation B) *)
+}
+
+val run : lib:Tech.Buffer.t list -> Rctree.Tree.t -> result
+(** Works for any sink count (a single-sink tree reproduces Algorithm 1's
+    answer). Raises [Failure] if no buffering can satisfy the margins. *)

@@ -1,0 +1,3 @@
+let run ~lib tree = (Dp.run ~noise:true ~mode:Dp.Single ~lib tree).Dp.best
+
+let by_count ~kmax ~lib tree = Dp.run ~noise:true ~mode:(Dp.Per_count kmax) ~lib tree

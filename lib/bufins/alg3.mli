@@ -1,0 +1,21 @@
+(** Algorithm 3: simultaneous noise and delay optimization
+    (paper Section IV, Figs. 10-11).
+
+    Van Ginneken's DP in which a buffer — or the source driver — is never
+    attached to a candidate whose noise constraint it would violate, and
+    candidates whose accumulated wire noise already exceeds a downstream
+    margin are discarded as unrecoverable. Generates a subset of Van
+    Ginneken's candidates, so it can run faster than DelayOpt (Table III).
+    Optimal for a single-buffer library when the buffer's input
+    capacitance is at most every sink's and its margin at most every
+    sink's (Theorem 5); near-optimal for realistic libraries
+    (Section IV-C, verified within 2% in Table IV). *)
+
+val run : lib:Tech.Buffer.t list -> Rctree.Tree.t -> Dp.result option
+(** Maximize source slack subject to every noise margin; [None] when no
+    buffering at this segmenting satisfies noise (Section IV-C's remedy:
+    finer segmenting / richer library — see [Buffopt.optimize]). *)
+
+val by_count : kmax:int -> lib:Tech.Buffer.t list -> Rctree.Tree.t -> Dp.outcome
+(** Noise-constrained best slack per exact buffer count; the substrate
+    for Problem 3 (see {!Buffopt}). *)

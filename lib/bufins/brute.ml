@@ -1,0 +1,64 @@
+module T = Rctree.Tree
+
+let assignments ~lib tree =
+  let feasible = List.filter (T.feasible tree) (T.internals tree) in
+  let options = None :: List.map (fun b -> Some b) lib in
+  let rec gen nodes : Rctree.Surgery.placement list Seq.t =
+    match nodes with
+    | [] -> Seq.return []
+    | v :: rest ->
+        Seq.concat_map
+          (fun tail ->
+            Seq.map
+              (function
+                | None -> tail
+                | Some b -> { Rctree.Surgery.node = v; dist = 0.0; buffer = b } :: tail)
+              (List.to_seq options))
+          (gen rest)
+  in
+  gen feasible
+
+let parity_ok tree =
+  List.for_all
+    (fun s ->
+      let inversions =
+        List.fold_left
+          (fun acc v ->
+            match T.kind tree v with
+            | T.Buffered b when b.Tech.Buffer.inverting -> acc + 1
+            | T.Buffered _ | T.Source _ | T.Sink _ | T.Internal -> acc)
+          0 (T.path_up tree s)
+      in
+      inversions mod 2 = 0)
+    (T.sinks tree)
+
+let fold_reports ~lib tree f init =
+  Seq.fold_left
+    (fun acc placements ->
+      let report = Eval.apply tree placements in
+      if parity_ok report.Eval.tree then f acc placements report else acc)
+    init (assignments ~lib tree)
+
+let min_buffers_noise ~lib tree =
+  fold_reports ~lib tree
+    (fun acc placements report ->
+      if not (Eval.noise_clean report) then acc
+      else begin
+        let n = List.length placements in
+        match acc with
+        | Some (bn, (br : Eval.report))
+          when bn < n || (bn = n && br.Eval.slack >= report.Eval.slack) ->
+            acc
+        | Some _ | None -> Some (n, report)
+      end)
+    None
+
+let best_slack ~noise ~lib tree =
+  fold_reports ~lib tree
+    (fun acc _ report ->
+      if noise && not (Eval.noise_clean report) then acc
+      else
+        match acc with
+        | Some (s, _) when s >= report.Eval.slack -> acc
+        | Some _ | None -> Some (report.Eval.slack, report))
+    None

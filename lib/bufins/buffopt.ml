@@ -1,0 +1,108 @@
+type t = { result : Dp.result; timing_met : bool }
+
+let problem3 ~kmax ~lib tree =
+  let outcome = Alg3.by_count ~kmax ~lib tree in
+  let candidates =
+    Array.to_list outcome.Dp.by_count |> List.filter_map (fun r -> r)
+  in
+  match candidates with
+  | [] -> None
+  | _ -> (
+      let timing = List.filter (fun (r : Dp.result) -> r.Dp.slack >= 0.0) candidates in
+      match timing with
+      | _ :: _ ->
+          (* fewest buffers meeting timing; slack breaks ties *)
+          let best =
+            List.fold_left
+              (fun (acc : Dp.result) (r : Dp.result) ->
+                if
+                  r.Dp.count < acc.Dp.count
+                  || (r.Dp.count = acc.Dp.count && r.Dp.slack > acc.Dp.slack)
+                then r
+                else acc)
+              (List.hd timing) (List.tl timing)
+          in
+          Some { result = best; timing_met = true }
+      | [] ->
+          (* timing unreachable: fall back to the maximum-slack solution *)
+          let best =
+            List.fold_left
+              (fun (acc : Dp.result) (r : Dp.result) ->
+                if
+                  r.Dp.slack > acc.Dp.slack
+                  || (r.Dp.slack = acc.Dp.slack && r.Dp.count < acc.Dp.count)
+                then r
+                else acc)
+              (List.hd candidates) (List.tl candidates)
+          in
+          Some { result = best; timing_met = false })
+
+type algorithm = Buffopt | Delayopt of int | Alg3_max_slack | Vangin_max_slack
+
+type run = {
+  report : Eval.report;
+  placements : Rctree.Surgery.placement list;
+  count : int;
+  predicted_slack : float;
+  segmented : Rctree.Tree.t;
+}
+
+let optimize ?(seg_len = 500e-6) ?(kmax = 16) ?(retries = 2) algorithm ~lib tree =
+  let rec attempt seg_len retries =
+    let seg = Rctree.Segment.refine tree ~max_len:seg_len in
+    let solve () =
+      match algorithm with
+      | Buffopt -> (
+          match problem3 ~kmax ~lib seg with
+          | Some p -> Some p.result
+          | None ->
+              (* the net may simply need more than kmax buffers: fall back
+                 to the unbounded Problem 2 search before giving up *)
+              Alg3.run ~lib seg)
+      | Delayopt k -> Some (Vangin.run_max ~max_buffers:k ~lib seg)
+      | Alg3_max_slack -> Alg3.run ~lib seg
+      | Vangin_max_slack -> Some (Vangin.run ~lib seg)
+    in
+    match solve () with
+    | Some (r : Dp.result) ->
+        Some
+          {
+            report = Eval.apply seg r.Dp.placements;
+            placements = r.Dp.placements;
+            count = r.Dp.count;
+            predicted_slack = r.Dp.slack;
+            segmented = seg;
+          }
+    | None -> if retries > 0 then attempt (seg_len /. 2.0) (retries - 1) else None
+  in
+  attempt seg_len retries
+
+let optimize_coupled ?(seg_len = 500e-6) ?(kmax = 16) ?(retries = 2) algorithm ~lib ann =
+  let rec attempt seg_len retries =
+    let seg_ann = Coupling.refine ann ~max_len:seg_len in
+    let seg = Coupling.tree seg_ann in
+    let solve () =
+      match algorithm with
+      | Buffopt -> (
+          match problem3 ~kmax ~lib seg with
+          | Some p -> Some p.result
+          | None -> Alg3.run ~lib seg)
+      | Delayopt k -> Some (Vangin.run_max ~max_buffers:k ~lib seg)
+      | Alg3_max_slack -> Alg3.run ~lib seg
+      | Vangin_max_slack -> Some (Vangin.run ~lib seg)
+    in
+    match solve () with
+    | Some (r : Dp.result) ->
+        let buffered = Coupling.buffered seg_ann r.Dp.placements in
+        Some
+          ( {
+              report = Eval.of_tree (Coupling.tree buffered);
+              placements = r.Dp.placements;
+              count = r.Dp.count;
+              predicted_slack = r.Dp.slack;
+              segmented = seg;
+            },
+            buffered )
+    | None -> if retries > 0 then attempt (seg_len /. 2.0) (retries - 1) else None
+  in
+  attempt seg_len retries

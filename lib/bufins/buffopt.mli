@@ -1,0 +1,67 @@
+(** The BuffOpt tool (paper Sections IV-C and V).
+
+    Problem 3: insert the minimum number of buffers such that both the
+    noise margins and the timing constraints are satisfied, maximizing
+    slack as a secondary objective. Implemented, as in the paper, by
+    running Algorithm 3 with Lillis count-indexed candidate lists and
+    picking the smallest count whose best solution meets timing; when no
+    count meets timing, the maximum-slack noise-clean solution is
+    returned (fewest buffers among ties).
+
+    [optimize] is the end-to-end entry point used by the experiments: it
+    segments the tree, runs the requested optimizer, and retries with
+    finer segmenting in the rare case noise cannot be satisfied at the
+    initial granularity. *)
+
+type t = {
+  result : Dp.result;
+  timing_met : bool;  (** slack >= 0 at the chosen count *)
+}
+
+val problem3 : kmax:int -> lib:Tech.Buffer.t list -> Rctree.Tree.t -> t option
+(** The Problem 3 selection rule over {!Alg3.by_count}; [None] when no
+    noise-feasible solution exists at this segmenting. *)
+
+type algorithm =
+  | Buffopt  (** noise + delay, fewest buffers meeting timing (Problem 3) *)
+  | Delayopt of int  (** DelayOpt(k): delay only, at most k buffers *)
+  | Alg3_max_slack  (** noise + delay, unconstrained count (Problem 2) *)
+  | Vangin_max_slack  (** delay only, unconstrained count *)
+
+type run = {
+  report : Eval.report;  (** evaluation of the applied solution *)
+  placements : Rctree.Surgery.placement list;
+  count : int;
+  predicted_slack : float;  (** the DP's own slack *)
+  segmented : Rctree.Tree.t;  (** the tree the optimizer actually ran on *)
+}
+
+val optimize :
+  ?seg_len:float ->
+  ?kmax:int ->
+  ?retries:int ->
+  algorithm ->
+  lib:Tech.Buffer.t list ->
+  Rctree.Tree.t ->
+  run option
+(** Segment to [seg_len] (default 500 um), run, and evaluate. Noise-aware
+    algorithms retry up to [retries] (default 2) times with halved
+    [seg_len] when infeasible. [kmax] (default 16) bounds the Problem 3
+    search; a net that needs more buffers than [kmax] falls back to the
+    unbounded Problem 2 search (Algorithm 3) rather than failing. [None]
+    only for noise-aware algorithms that stay infeasible after all
+    retries. *)
+
+val optimize_coupled :
+  ?seg_len:float ->
+  ?kmax:int ->
+  ?retries:int ->
+  algorithm ->
+  lib:Tech.Buffer.t list ->
+  Coupling.t ->
+  (run * Coupling.t) option
+(** The same drivers over an explicit-coupling annotation
+    ([Coupling.annotate] / [Extract.annotate]): the annotation is
+    segmented density-preservingly, optimized, and returned re-keyed onto
+    the buffered tree — ready for multi-aggressor verification with
+    [Noisesim.Verify.net ~density]. *)

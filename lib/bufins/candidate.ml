@@ -1,0 +1,73 @@
+module T = Rctree.Tree
+
+type t = {
+  c : float;
+  q : float;
+  i : float;
+  ns : float;
+  parity : int;
+  count : int;
+  sol : Rctree.Surgery.placement list;
+  sizes : (int * float) list;
+}
+
+let of_sink (s : T.sink) =
+  { c = s.T.c_sink; q = s.T.rat; i = 0.0; ns = s.T.nm; parity = 0; count = 0; sol = []; sizes = [] }
+
+let add_wire (w : T.wire) a =
+  {
+    a with
+    c = a.c +. w.T.cap;
+    q = a.q -. (w.T.res *. ((w.T.cap /. 2.0) +. a.c));
+    i = a.i +. w.T.cur;
+    ns = a.ns -. (w.T.res *. (a.i +. (w.T.cur /. 2.0)));
+  }
+
+let add_buffer ~at (b : Tech.Buffer.t) a =
+  {
+    c = b.Tech.Buffer.c_in;
+    q = a.q -. Tech.Buffer.gate_delay b ~load:a.c;
+    i = 0.0;
+    ns = b.Tech.Buffer.nm;
+    parity = (if b.Tech.Buffer.inverting then 1 - a.parity else a.parity);
+    count = a.count + 1;
+    sol = { Rctree.Surgery.node = at; dist = 0.0; buffer = b } :: a.sol;
+    sizes = a.sizes;
+  }
+
+let add_driver (d : T.driver) a = { a with q = a.q -. (d.T.d_drv +. (d.T.r_drv *. a.c)) }
+
+let noise_ok ?(eps = 1e-12) ~r_gate a = r_gate *. a.i <= a.ns +. eps
+
+let merge a b =
+  assert (a.parity = b.parity);
+  {
+    c = a.c +. b.c;
+    q = Float.min a.q b.q;
+    i = a.i +. b.i;
+    ns = Float.min a.ns b.ns;
+    parity = a.parity;
+    count = a.count + b.count;
+    sol = List.rev_append a.sol b.sol;
+    sizes = List.rev_append a.sizes b.sizes;
+  }
+
+let dominates a b = a.c <= b.c && a.q >= b.q
+
+let dominates_noise a b = a.i <= b.i && a.ns >= b.ns && a.count <= b.count
+
+let prune ~within cands =
+  let arr = Array.of_list cands in
+  let n = Array.length arr in
+  let dead = Array.make n false in
+  for x = 0 to n - 1 do
+    if not dead.(x) then
+      for y = 0 to n - 1 do
+        if x <> y && (not dead.(y)) && within arr.(x) arr.(y) then dead.(y) <- true
+      done
+  done;
+  let out = ref [] in
+  for x = n - 1 downto 0 do
+    if not dead.(x) then out := arr.(x) :: !out
+  done;
+  !out

@@ -1,0 +1,63 @@
+(** Candidate solutions for the dynamic-programming algorithms.
+
+    Algorithm 3 candidates are the paper's five-tuples
+    [(load, slack, current, noise slack, solution)] extended with the
+    polarity parity needed for inverting buffers (Lillis et al. [18]) and
+    the count of inserted buffers (the Lillis indexed extension used by
+    BuffOpt for Problem 3). Algorithm 2 candidates use only the
+    [(current, noise slack, solution)] projection. *)
+
+type t = {
+  c : float;  (** downstream load seen here, F (eq. 1) *)
+  q : float;  (** timing slack: min downstream [rat - delay-to-sink], s *)
+  i : float;  (** downstream coupled current, A (eq. 7) *)
+  ns : float;  (** noise slack, V (eq. 12) *)
+  parity : int;  (** signal inversions accumulated below: 0 or 1 *)
+  count : int;  (** buffers inserted in [sol] *)
+  sol : Rctree.Surgery.placement list;
+  sizes : (int * float) list;  (** wire-sizing choices: node, width (Lillis [18]) *)
+}
+
+val of_sink : Rctree.Tree.sink -> t
+
+val add_wire : Rctree.Tree.wire -> t -> t
+(** Propagate a candidate from a wire's target to its driving end:
+    [c += cap], [q -= res*(cap/2 + c)], [i += cur],
+    [ns -= res*(i + cur/2)] (eqs. 2 and 8). *)
+
+val add_buffer : at:int -> Tech.Buffer.t -> t -> t
+(** Insert a buffer at node [at] on top of the candidate: the new stage
+    sees [c_in], slack drops by the gate delay into the old load, current
+    resets to zero, noise slack resets to the buffer's margin, parity
+    flips for inverting buffers. Performs no noise check — callers decide
+    (that check is exactly what distinguishes Algorithm 3 from Van
+    Ginneken). *)
+
+val add_driver : Rctree.Tree.driver -> t -> t
+(** Account for the source gate: [q -= d_drv + r_drv*c]. Noise is the
+    caller's check ([r_drv *. i <= ns]). *)
+
+val noise_ok : ?eps:float -> r_gate:float -> t -> bool
+(** Would a gate with output resistance [r_gate] driving this candidate
+    respect every downstream noise margin? ([r_gate *. i <= ns +. eps]) *)
+
+val merge : t -> t -> t
+(** Join the two branches at a node: loads and currents add, slacks take
+    the minimum, solutions concatenate. Parities must agree. *)
+
+val dominates : t -> t -> bool
+(** [dominates a b]: [a] is at least as good as [b] on load and slack
+    ([a.c <= b.c] and [a.q >= b.q]); used by the (c,q) pruning of
+    Van Ginneken / Algorithm 3 (Theorem 5 proves noise fields may be
+    ignored). Parity and (when bucketed) count must match — callers group
+    before pruning. *)
+
+val dominates_noise : t -> t -> bool
+(** Algorithm 2 dominance: [a.i <= b.i], [a.ns >= b.ns] and
+    [a.count <= b.count] (the count guard makes the minimum-buffer
+    selection safe). *)
+
+val prune : within:(t -> t -> bool) -> t list -> t list
+(** Remove every candidate dominated by another (keeping one of equals);
+    [within] is the dominance relation. Quadratic; candidate lists are
+    small after pruning. *)

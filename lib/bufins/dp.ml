@@ -1,0 +1,192 @@
+module T = Rctree.Tree
+module C = Candidate
+
+type mode = Single | Per_count of int
+
+type result = {
+  slack : float;
+  placements : Rctree.Surgery.placement list;
+  sizes : (int * float) list;
+  count : int;
+  candidates_seen : int;
+}
+
+type outcome = { best : result option; by_count : result option array; seen : int }
+
+(* Candidate sets are lists grouped by (parity, bucket); bucket is the
+   buffer count in Per_count mode and 0 in Single mode. Within a group,
+   lists are kept Pareto-pruned on (c, q) and sorted by increasing load
+   (hence increasing slack), the invariant Van Ginneken's linear merge
+   needs. *)
+
+let ns_eps = 1e-12
+
+let run ?(prune = true) ?(widths = [ 1.0 ]) ?(area_frac = 0.4) ~noise ~mode ~lib tree =
+  if widths = [] || List.exists (fun w -> w < 1.0) widths then
+    invalid_arg "Dp.run: widths must be >= 1";
+  if lib = [] then invalid_arg "Dp.run: empty buffer library";
+  if T.buffer_count tree > 0 then invalid_arg "Dp.run: tree already contains buffers";
+  let kmax = match mode with Single -> max_int | Per_count k -> k in
+  let bucket (a : C.t) = match mode with Single -> 0 | Per_count _ -> a.C.count in
+  let seen = ref 0 in
+  let group cands =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (a : C.t) ->
+        let key = (a.C.parity, bucket a) in
+        Hashtbl.replace tbl key (a :: (Option.value ~default:[] (Hashtbl.find_opt tbl key))))
+      cands;
+    tbl
+  in
+  let normalize cands =
+    let cands = if noise then List.filter (fun (a : C.t) -> a.C.ns >= -.ns_eps) cands else cands in
+    let tbl = group cands in
+    let kept =
+      Hashtbl.fold
+        (fun _ group acc ->
+          let kept = if prune then C.prune ~within:C.dominates group else group in
+          List.rev_append kept acc)
+        tbl []
+      |> List.sort (fun (a : C.t) (b : C.t) ->
+             compare (a.C.parity, bucket a, a.C.c) (b.C.parity, bucket b, b.C.c))
+    in
+    seen := !seen + List.length kept;
+    kept
+  in
+  (* Van Ginneken's linear merge of two (c,q)-Pareto lists (sorted by
+     increasing c, hence increasing q): advance the binding (smaller-q)
+     side. Produces a superset of the Pareto-optimal pairings. *)
+  let rec lmerge acc l r =
+    match (l, r) with
+    | [], _ | _, [] -> acc
+    | (a : C.t) :: ltl, (b : C.t) :: rtl ->
+        let acc = C.merge a b :: acc in
+        if a.C.q < b.C.q then lmerge acc ltl r
+        else if b.C.q < a.C.q then lmerge acc l rtl
+        else lmerge acc ltl rtl
+  in
+  let merge_sets left right =
+    let lt = group left and rt = group right in
+    let out = ref [] in
+    Hashtbl.iter
+      (fun (p, kl) lgroup ->
+        let lgroup = List.sort (fun (a : C.t) b -> compare a.C.c b.C.c) lgroup in
+        Hashtbl.iter
+          (fun (p', kr) rgroup ->
+            if p = p' && (mode = Single || kl + kr <= kmax) then begin
+              let rgroup = List.sort (fun (a : C.t) b -> compare a.C.c b.C.c) rgroup in
+              out := lmerge !out lgroup rgroup
+            end)
+          rt)
+        lt;
+    !out
+  in
+  let insert_buffers v cands =
+    (* Step 5 (Figs. 5 and 11): for each buffer type and group, keep the
+       insertion producing the largest resulting slack; in noise mode a
+       buffer is never attached to a candidate it would make noisy. *)
+    let extra = ref [] in
+    List.iter
+      (fun (b : Tech.Buffer.t) ->
+        let best = Hashtbl.create 8 in
+        List.iter
+          (fun (a : C.t) ->
+            if a.C.count < kmax
+               && ((not noise) || C.noise_ok ~r_gate:b.Tech.Buffer.r_b a)
+            then begin
+              let cand = C.add_buffer ~at:v b a in
+              let key = (a.C.parity, bucket a) in
+              match Hashtbl.find_opt best key with
+              | Some (prev : C.t) -> if cand.C.q > prev.C.q then Hashtbl.replace best key cand
+              | None -> Hashtbl.replace best key cand
+            end)
+          cands;
+        Hashtbl.iter (fun _ c -> extra := c :: !extra) best)
+      lib;
+    List.rev_append !extra cands
+  in
+  let rec at v =
+    match T.kind tree v with
+    | T.Sink s -> [ C.of_sink s ]
+    | T.Buffered _ | T.Source _ -> assert false
+    | T.Internal ->
+        let base =
+          match T.children tree v with
+          | [ c ] -> above c
+          | [ cl; cr ] -> merge_sets (above cl) (above cr)
+          | _ -> assert false
+        in
+        let base = if T.feasible tree v then insert_buffers v base else base in
+        normalize base
+  and above c =
+    let w = T.wire_to tree c in
+    let cands = at c in
+    let variants =
+      if w.T.length <= 0.0 then List.map (C.add_wire w) cands
+      else
+        (* simultaneous wire sizing: each candidate climbs the wire at
+           every available width (Lillis et al. [18]) *)
+        List.concat_map
+          (fun (a : C.t) ->
+            List.map
+              (fun width ->
+                if width = 1.0 then C.add_wire w a
+                else begin
+                  let sized = T.resize_wire w ~width ~area_frac in
+                  { (C.add_wire sized a) with C.sizes = (c, width) :: a.C.sizes }
+                end)
+              widths)
+          cands
+    in
+    normalize variants
+  in
+  let root = T.root tree in
+  let d =
+    match T.kind tree root with
+    | T.Source d -> d
+    | T.Sink _ | T.Internal | T.Buffered _ -> assert false
+  in
+  let top =
+    match T.children tree root with
+    | [ c ] -> above c
+    | [ cl; cr ] -> normalize (merge_sets (above cl) (above cr))
+    | _ -> assert false
+  in
+  let finals =
+    List.filter_map
+      (fun (a : C.t) ->
+        if a.C.parity <> 0 then None
+        else if noise && not (C.noise_ok ~r_gate:d.T.r_drv a) then None
+        else Some (C.add_driver d a))
+      top
+  in
+  let nbuckets = match mode with Single -> 1 | Per_count k -> k + 1 in
+  let by_count = Array.make nbuckets None in
+  let consider (a : C.t) =
+    let idx = match mode with Single -> 0 | Per_count _ -> a.C.count in
+    if idx < nbuckets then begin
+      let r =
+        {
+          slack = a.C.q;
+          placements = List.rev a.C.sol;
+          sizes = a.C.sizes;
+          count = a.C.count;
+          candidates_seen = !seen;
+        }
+      in
+      match by_count.(idx) with
+      | Some prev when prev.slack >= r.slack -> ()
+      | Some _ | None -> by_count.(idx) <- Some r
+    end
+  in
+  List.iter consider finals;
+  let best =
+    Array.fold_left
+      (fun acc r ->
+        match (acc, r) with
+        | None, x -> x
+        | Some _, None -> acc
+        | Some a, Some b -> if b.slack > a.slack then r else acc)
+      None by_count
+  in
+  { best; by_count; seen = !seen }

@@ -1,0 +1,59 @@
+(** The Van Ginneken dynamic-programming engine and its extensions.
+
+    One engine implements four of the paper's optimizers:
+
+    - Van Ginneken [31] (Figs. 4-5): maximize source slack under Elmore
+      delay, buffers at feasible internal nodes — [noise = false].
+    - Algorithm 3 (Figs. 10-11): the same DP where a buffer (or the
+      driver) is {e never} attached to a candidate whose noise constraint
+      it would violate, and candidates whose noise slack goes negative
+      are dropped as unrecoverable — [noise = true]. Optimal for a
+      single-buffer library under Theorem 5's assumptions.
+    - The Lillis indexed extension [18]: candidate lists bucketed by the
+      exact number of inserted buffers — [mode = Per_count kmax] — used
+      by BuffOpt for Problem 3 and by DelayOpt(k) (Tables III/IV).
+    - Inverting-buffer polarity tracking [18]: candidates carry the
+      parity of inversions below; merges require equal parity and the
+      root accepts only parity-0 candidates.
+
+    Candidates are pruned by (load, slack) dominance within a
+    (parity, bucket) group, exactly the paper's pruning (Theorem 5 shows
+    the noise fields need not participate). *)
+
+type mode =
+  | Single  (** one candidate list per parity; unbounded buffer count *)
+  | Per_count of int  (** lists indexed by exact buffer count [0..kmax] *)
+
+type result = {
+  slack : float;  (** optimized source slack, eq. (5) *)
+  placements : Rctree.Surgery.placement list;
+  sizes : (int * float) list;  (** wire-width choices when sizing is enabled *)
+  count : int;
+  candidates_seen : int;  (** surviving candidate population, summed over nodes (Ablation B) *)
+}
+
+type outcome = {
+  best : result option;  (** highest-slack solution over all counts *)
+  by_count : result option array;  (** [Per_count]: best per exact count; [Single]: singleton *)
+  seen : int;
+}
+
+val run :
+  ?prune:bool ->
+  ?widths:float list ->
+  ?area_frac:float ->
+  noise:bool ->
+  mode:mode ->
+  lib:Tech.Buffer.t list ->
+  Rctree.Tree.t ->
+  outcome
+(** Raises [Invalid_argument] on an empty library or a tree that already
+    contains buffers. With [noise = true], [best = None] means no
+    noise-feasible solution exists at the given segmenting (the paper's
+    remedy: segment finer or extend the library; see
+    [Buffopt.optimize]). [prune] (default true) disables candidate
+    pruning when false — exponential; only for Ablation B on small
+    trees. [widths] (multiples of minimum width, default [[1.]])
+    enables simultaneous wire sizing per {!Rctree.Tree.resize_wire} with
+    the given [area_frac] (default 0.4); chosen widths are reported in
+    [result.sizes] and applied with {!Wiresize.apply_sizes}. *)

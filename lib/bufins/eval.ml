@@ -1,0 +1,24 @@
+type report = {
+  tree : Rctree.Tree.t;
+  buffers : int;
+  slack : float;
+  worst_delay : float;
+  noise_violations : (int * float * float) list;
+  worst_noise_ratio : float;
+}
+
+let of_tree tree =
+  let leaves = Noise.leaf_noise tree in
+  {
+    tree;
+    buffers = Rctree.Tree.buffer_count tree;
+    slack = Elmore.slack tree;
+    worst_delay = Elmore.worst_delay tree;
+    noise_violations = List.filter (fun (_, noise, m) -> noise > m +. 1e-9) leaves;
+    worst_noise_ratio =
+      List.fold_left (fun acc (_, noise, m) -> Float.max acc (noise /. m)) 0.0 leaves;
+  }
+
+let apply tree placements = of_tree (Rctree.Surgery.apply tree placements)
+
+let noise_clean r = r.noise_violations = []

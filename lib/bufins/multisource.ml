@@ -1,0 +1,85 @@
+module T = Rctree.Tree
+
+type port = { pnode : int; p_r_drv : float; p_d_drv : float }
+
+type mode_report = { driver : int; eval : Eval.report }
+
+type result = {
+  placements : Rctree.Surgery.placement list;
+  count : int;
+  modes : mode_report list;
+}
+
+let rerooted tree ~old_source port =
+  Rctree.Reroot.at tree ~port:port.pnode ~r_drv:port.p_r_drv ~d_drv:port.p_d_drv ~old_source
+
+(* Translate a placement computed on a re-rooted mode tree back into the
+   original tree's coordinates: the same physical wire is owned by the
+   other endpoint when the edge was reversed, flipping the distance
+   reference end. *)
+let translate original mode_tree (p : Rctree.Surgery.placement) =
+  let x = p.Rctree.Surgery.node in
+  let y = T.parent mode_tree x in
+  match Rctree.Reroot.wire_owner original x y with
+  | Some owner when owner = x -> p
+  | Some owner ->
+      let len = (T.wire_to original owner).T.length in
+      { p with Rctree.Surgery.node = owner; dist = len -. p.Rctree.Surgery.dist }
+  | None -> invalid_arg "Multisource: placement on a wire foreign to the original tree"
+
+let sink_name tree v =
+  match T.kind tree v with
+  | T.Sink s -> s.T.sname
+  | T.Source _ | T.Internal | T.Buffered _ -> invalid_arg "Multisource: port is not a sink"
+
+let find_sink tree name =
+  match
+    List.find_opt
+      (fun v -> match T.kind tree v with T.Sink s -> s.T.sname = name | _ -> false)
+      (T.sinks tree)
+  with
+  | Some v -> v
+  | None -> invalid_arg "Multisource: sink vanished"
+
+let run ~lib ~old_source ~ports tree =
+  let lib = Tech.Lib.non_inverting lib in
+  if lib = [] then invalid_arg "Multisource.run: need a non-inverting buffer";
+  (* per-mode Algorithm 2, translated into original coordinates *)
+  let mode_placements mode_tree =
+    let r = Alg2.run ~lib mode_tree in
+    List.map (translate tree mode_tree) r.Alg2.placements
+  in
+  let from_root = (Alg2.run ~lib tree).Alg2.placements in
+  let from_ports =
+    List.concat_map (fun port -> mode_placements (rerooted tree ~old_source port)) ports
+  in
+  (* union with positional dedupe *)
+  let same (a : Rctree.Surgery.placement) (b : Rctree.Surgery.placement) =
+    a.Rctree.Surgery.node = b.Rctree.Surgery.node
+    && Float.abs (a.Rctree.Surgery.dist -. b.Rctree.Surgery.dist) < 1e-12
+  in
+  let placements =
+    List.fold_left
+      (fun acc p -> if List.exists (same p) acc then acc else p :: acc)
+      [] (from_root @ from_ports)
+    |> List.rev
+  in
+  let buffered = Rctree.Surgery.apply tree placements in
+  let port_names = List.map (fun port -> (port, sink_name tree port.pnode)) ports in
+  let modes =
+    { driver = -1; eval = Eval.of_tree buffered }
+    :: List.map
+         (fun (port, name) ->
+           let v = find_sink buffered name in
+           let re =
+             Rctree.Reroot.at buffered ~port:v ~r_drv:port.p_r_drv ~d_drv:port.p_d_drv
+               ~old_source
+           in
+           { driver = port.pnode; eval = Eval.of_tree re })
+         port_names
+  in
+  if List.exists (fun m -> not (Eval.noise_clean m.eval)) modes then
+    failwith "Multisource.run: merged solution leaves a mode noisy";
+  { placements; count = List.length placements; modes }
+
+let all_modes_clean r = List.for_all (fun m -> Eval.noise_clean m.eval) r.modes

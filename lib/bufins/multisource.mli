@@ -1,0 +1,47 @@
+(** Noise avoidance for multi-source nets (after Lillis [17]).
+
+    A bidirectional bus has several terminals that may drive the shared
+    tree, one mode at a time. Repeaters are modelled as bidirectional
+    (back-to-back) cells: in every mode each repeater drives away from
+    that mode's source, which re-rooting expresses directly.
+
+    The optimizer is a documented heuristic (Lillis's exact multi-source
+    DP is out of scope): run Algorithm 2 independently in every mode on
+    the re-rooted tree, translate each mode's continuous placements back
+    into the original tree's coordinates, take the union, and verify all
+    modes on the merged solution. Adding restoring stages never hurts the
+    noise of another mode in practice; the per-mode verification is part
+    of the returned report, and the test suite checks it on randomized
+    busses. *)
+
+type port = {
+  pnode : int;  (** sink node of the original tree acting as a terminal *)
+  p_r_drv : float;  (** driver resistance when this port drives *)
+  p_d_drv : float;  (** driver intrinsic delay when this port drives *)
+}
+
+type mode_report = {
+  driver : int;  (** -1 for the original source, else the port node *)
+  eval : Eval.report;
+}
+
+type result = {
+  placements : Rctree.Surgery.placement list;  (** original-tree coordinates *)
+  count : int;
+  modes : mode_report list;  (** evaluation of every mode on the merged solution *)
+}
+
+val rerooted : Rctree.Tree.t -> old_source:Rctree.Tree.sink -> port -> Rctree.Tree.t
+(** The tree as seen when [port] drives (see {!Rctree.Reroot}). *)
+
+val run :
+  lib:Tech.Buffer.t list ->
+  old_source:Rctree.Tree.sink ->
+  ports:port list ->
+  Rctree.Tree.t ->
+  result
+(** Raises [Failure] if some mode cannot be made noise-safe, and
+    [Invalid_argument] for ports that are not sinks. Only non-inverting
+    buffers are used (a bidirectional repeater cannot invert). *)
+
+val all_modes_clean : result -> bool

@@ -1,0 +1,16 @@
+module T = Rctree.Tree
+
+let noise_driven ?(fraction = 0.34) ?(fallback = 1e-3) ~lib tree =
+  if fraction <= 0.0 || fallback <= 0.0 then invalid_arg "Segmenting.noise_driven: bad parameters";
+  let b = Tech.Lib.min_resistance lib in
+  Rctree.Segment.refine_by tree (fun _ w ->
+      if w.T.length <= 0.0 || w.T.cur <= 0.0 then fallback
+      else begin
+        let r_per_m = w.T.res /. w.T.length and i_per_m = w.T.cur /. w.T.length in
+        match
+          Noise.max_safe_length ~r_b:b.Tech.Buffer.r_b ~i_down:0.0 ~ns:b.Tech.Buffer.nm
+            ~r_per_m ~i_per_m
+        with
+        | Some span when Float.is_finite span -> Float.max (fraction *. span) 1e-6
+        | Some _ | None -> fallback
+      end)

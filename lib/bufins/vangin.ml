@@ -1,0 +1,11 @@
+let best_exn outcome =
+  match outcome.Dp.best with
+  | Some r -> r
+  | None -> assert false (* the zero-buffer candidate always survives without noise checks *)
+
+let run ~lib tree = best_exn (Dp.run ~noise:false ~mode:Dp.Single ~lib tree)
+
+let run_max ~max_buffers ~lib tree =
+  best_exn (Dp.run ~noise:false ~mode:(Dp.Per_count max_buffers) ~lib tree)
+
+let by_count ~kmax ~lib tree = (Dp.run ~noise:false ~mode:(Dp.Per_count kmax) ~lib tree).Dp.by_count

@@ -1,0 +1,15 @@
+(** Van Ginneken's delay-optimal buffer insertion [31] (paper Figs. 4-5),
+    with the Lillis library/polarity generalization: the delay-only
+    baseline the paper calls DelayOpt. *)
+
+val run : lib:Tech.Buffer.t list -> Rctree.Tree.t -> Dp.result
+(** Maximize the source timing slack; no noise constraints. Always
+    succeeds (the zero-buffer candidate survives). *)
+
+val run_max : max_buffers:int -> lib:Tech.Buffer.t list -> Rctree.Tree.t -> Dp.result
+(** DelayOpt(k): best slack using at most [max_buffers] buffers
+    (Table III). *)
+
+val by_count : kmax:int -> lib:Tech.Buffer.t list -> Rctree.Tree.t -> Dp.result option array
+(** Best slack for each exact buffer count [0..kmax] (Table IV pairs
+    DelayOpt and BuffOpt at equal counts). *)

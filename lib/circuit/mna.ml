@@ -1,0 +1,87 @@
+type t = {
+  nf : int;
+  nl : int;
+  index : int array;
+  g : Linalg.Mat.t;
+  c : Linalg.Mat.t;
+  g_drv : (int * float * int) list;
+  c_drv : (int * float * int) list;
+  sources : int list;
+}
+
+let build nl =
+  let n = Netlist.node_count nl in
+  let index = Array.make n (-1) in
+  let nf = ref 0 in
+  for id = 0 to n - 1 do
+    if not (Netlist.is_driven nl (Netlist.of_id id)) then begin
+      index.(id) <- !nf;
+      incr nf
+    end
+  done;
+  let nf = !nf in
+  let n_ind =
+    List.length
+      (List.filter (function Netlist.L _ -> true | Netlist.R _ | Netlist.C _ -> false)
+         (Netlist.elements nl))
+  in
+  let dim = nf + n_ind in
+  let g = Linalg.Mat.create dim and c = Linalg.Mat.create dim in
+  let g_drv = ref [] and c_drv = ref [] in
+  let stamp mat drv a b v =
+    (* Stamp a two-terminal admittance between nodes [a] and [b]. Ground
+       contributes nothing off-diagonal; driven nodes go to the RHS lists. *)
+    let kind n =
+      if n = Netlist.ground then `Gnd
+      else if Netlist.is_driven nl n then `Drv (Netlist.node_id n)
+      else `Free index.(Netlist.node_id n)
+    in
+    let diag n =
+      match kind n with `Free i -> Linalg.Mat.add mat i i v | `Gnd | `Drv _ -> ()
+    in
+    let off n1 n2 =
+      match (kind n1, kind n2) with
+      | `Free i, `Free j -> Linalg.Mat.add mat i j (-.v)
+      | `Free i, `Drv d -> drv := (i, -.v, d) :: !drv
+      | `Free _, `Gnd | `Gnd, _ | `Drv _, _ -> ()
+    in
+    diag a;
+    diag b;
+    off a b;
+    off b a
+  in
+  let next_branch = ref nf in
+  List.iter
+    (fun e ->
+      match e with
+      | Netlist.R (a, b, ohms) -> stamp g g_drv a b (1.0 /. ohms)
+      | Netlist.C (a, b, farads) -> stamp c c_drv a b farads
+      | Netlist.L (a, b, henry) ->
+          (* branch current i flows a -> b: KCL rows get +/- i; the branch
+             row enforces v_a - v_b - L di/dt = 0 *)
+          let k = !next_branch in
+          incr next_branch;
+          let endpoint node sign =
+            if node = Netlist.ground then ()
+            else if Netlist.is_driven nl node then
+              (* known voltage moves to the RHS of the branch row *)
+              g_drv := (k, sign, Netlist.node_id node) :: !g_drv
+            else begin
+              let i = index.(Netlist.node_id node) in
+              Linalg.Mat.add g i k sign;
+              Linalg.Mat.add g k i sign
+            end
+          in
+          endpoint a 1.0;
+          endpoint b (-1.0);
+          Linalg.Mat.add c k k (-.henry))
+    (Netlist.elements nl);
+  let sources =
+    List.sort_uniq compare
+      (List.map (fun (_, _, d) -> d) !g_drv @ List.map (fun (_, _, d) -> d) !c_drv)
+  in
+  { nf; nl = n_ind; index; g; c; g_drv = !g_drv; c_drv = !c_drv; sources }
+
+let free_index t n =
+  let id = Netlist.node_id n in
+  if id < 0 then -1 else t.index.(id)

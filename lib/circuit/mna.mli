@@ -1,0 +1,27 @@
+(** Modified nodal analysis assembly, shared by the transient engine and
+    the AC-moment (AWE/RICE-style) analyses.
+
+    Driven nodes are eliminated from the unknown vector: their couplings
+    are kept as right-hand-side contribution lists tagged with the source
+    node, so both time-domain (waveform-weighted) and frequency-domain
+    (per-source unit excitation) analyses can build their RHS. *)
+
+type t = {
+  nf : int;  (** number of free nodes *)
+  nl : int;  (** number of inductor branch currents *)
+  index : int array;  (** node id -> free index, or -1 for driven nodes *)
+  g : Linalg.Mat.t;  (** resistive/incidence matrix over the unknowns *)
+  c : Linalg.Mat.t;  (** capacitance/inductance matrix over the unknowns *)
+  g_drv : (int * float * int) list;  (** row, stamp entry, driven node id *)
+  c_drv : (int * float * int) list;  (** row, stamp entry, driven node id *)
+  sources : int list;  (** driven node ids, deduplicated *)
+}
+(** The unknown vector is [[node voltages; inductor currents]]: matrices
+    are [(nf + nl)] square. Inductor branch rows hold [v_a - v_b] in [g]
+    and [-L di/dt] in [c]; their currents enter the node KCL rows through
+    the incidence columns. *)
+
+val build : Netlist.t -> t
+
+val free_index : t -> Netlist.node -> int
+(** Index of a free node in the unknown vector; [-1] for driven/ground. *)

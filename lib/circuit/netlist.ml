@@ -1,0 +1,65 @@
+type node = int
+(* -1 is ground; >= 0 are allocated nodes *)
+
+type element = R of node * node * float | C of node * node * float | L of node * node * float
+
+type t = {
+  mutable next : int;
+  mutable elems : element list;
+  mutable labels : (int * string) list;
+  drives : (int, Waveform.t) Hashtbl.t;
+}
+
+let create () = { next = 0; elems = []; labels = []; drives = Hashtbl.create 16 }
+
+let ground = -1
+
+let fresh ?label t =
+  let id = t.next in
+  t.next <- id + 1;
+  (match label with Some l -> t.labels <- (id, l) :: t.labels | None -> ());
+  id
+
+let check_node t n =
+  if n < -1 || n >= t.next then invalid_arg "Netlist: unknown node"
+
+let resistor t a b ohms =
+  check_node t a;
+  check_node t b;
+  if ohms <= 0.0 then invalid_arg "Netlist.resistor: non-positive resistance";
+  if a <> b then t.elems <- R (a, b, ohms) :: t.elems
+
+let capacitor t a b farads =
+  check_node t a;
+  check_node t b;
+  if farads < 0.0 then invalid_arg "Netlist.capacitor: negative capacitance";
+  if a <> b && farads > 0.0 then t.elems <- C (a, b, farads) :: t.elems
+
+let inductor t a b henry =
+  check_node t a;
+  check_node t b;
+  if henry <= 0.0 then invalid_arg "Netlist.inductor: non-positive inductance";
+  if a <> b then t.elems <- L (a, b, henry) :: t.elems
+
+let drive t n w =
+  check_node t n;
+  if n = ground then invalid_arg "Netlist.drive: cannot drive ground";
+  if Hashtbl.mem t.drives n then invalid_arg "Netlist.drive: node already driven";
+  Hashtbl.replace t.drives n w
+
+let node_count t = t.next
+
+let is_driven t n = Hashtbl.mem t.drives n
+
+let label t n =
+  match List.assoc_opt n t.labels with
+  | Some l -> l
+  | None -> if n = ground then "gnd" else Printf.sprintf "n%d" n
+
+let elements t = t.elems
+
+let driven_waveform t n = Hashtbl.find_opt t.drives n
+
+let node_id n = n
+
+let of_id n = n

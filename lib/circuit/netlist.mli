@@ -1,0 +1,60 @@
+(** Linear-circuit netlists.
+
+    A netlist is a set of nodes connected by resistors and capacitors.
+    Nodes are either the implicit ground, free (their voltage is an
+    unknown), or driven by an ideal voltage source with a known waveform
+    (the transient engine eliminates driven nodes from the system).
+
+    This is exactly the circuit class needed for coupled-noise analysis:
+    RC victim trees, coupling capacitors, and ramp aggressor sources
+    (Section V of the paper; RICE/AWE-class problems). *)
+
+type t
+
+type node
+
+val create : unit -> t
+
+val ground : node
+
+val fresh : ?label:string -> t -> node
+(** Allocate a new free node. The label is used in error messages. *)
+
+val resistor : t -> node -> node -> float -> unit
+(** Connect a resistance (ohm, [> 0.]) between two nodes. *)
+
+val capacitor : t -> node -> node -> float -> unit
+(** Connect a capacitance (farad, [>= 0.]) between two nodes. *)
+
+val inductor : t -> node -> node -> float -> unit
+(** Connect an inductance (henry, [> 0.]) between two nodes. Inductors
+    introduce a branch-current unknown in the MNA system; they extend the
+    RC class to the (overdamped) RLC circuits for which the Devgan metric
+    is still an upper bound (paper Section II-B). *)
+
+val drive : t -> node -> Waveform.t -> unit
+(** Attach an ideal voltage source between the node and ground. A node may
+    be driven at most once; ground cannot be driven. *)
+
+val node_count : t -> int
+(** Number of allocated (non-ground) nodes. *)
+
+val is_driven : t -> node -> bool
+
+val label : t -> node -> string
+
+(**/**)
+
+(* Internal accessors for the transient engine. *)
+
+type element = R of node * node * float | C of node * node * float | L of node * node * float
+
+val elements : t -> element list
+
+val driven_waveform : t -> node -> Waveform.t option
+
+val node_id : node -> int
+(** Ground is [-1]; allocated nodes are [0, 1, ...]. *)
+
+val of_id : int -> node
+(** Inverse of {!node_id}; the id must come from this netlist. *)

@@ -1,0 +1,29 @@
+(** Trapezoidal transient analysis.
+
+    Solves [G v + C dv/dt = b(t)] over the free nodes of a netlist, where
+    [b(t)] collects the contributions of driven nodes through the
+    conductances and capacitances tied to them. The system matrix
+    [G + (2/h) C] is LU-factored once per run and back-substituted per
+    step, so a run costs one O(n^3) factorization plus O(steps * n^2). *)
+
+type result = {
+  times : float array;  (** sample instants, including t = 0 *)
+  peaks : float array;  (** per-probe maximum |v| over the run *)
+  peak_times : float array;  (** instant at which each peak occurred *)
+  finals : float array;  (** per-probe voltage at the last instant *)
+  traces : float array array option;  (** per-probe sampled waveforms if requested *)
+}
+
+val simulate :
+  ?record:bool ->
+  Netlist.t ->
+  dt:float ->
+  t_end:float ->
+  probes:Netlist.node list ->
+  result
+(** Run from the DC operating point at [t = 0] (sources at their initial
+    values) to [t_end] with a fixed step [dt]. Probing a driven node or
+    ground is allowed (its known voltage is reported). Set [record] to keep
+    full waveforms. Raises [Invalid_argument] on a non-positive step and
+    [Linalg.Mat.Singular] if some free node has no resistive path to a
+    driven node or ground. *)

@@ -1,0 +1,23 @@
+(** Time-domain source waveforms for driven circuit nodes.
+
+    A waveform carries both its value and its exact time derivative; the
+    transient engine needs the derivative to build the right-hand side
+    contribution of capacitors tied to driven nodes. *)
+
+type t
+
+val value : t -> float -> float
+
+val deriv : t -> float -> float
+
+val dc : float -> t
+(** Constant voltage. *)
+
+val ramp : t0:float -> t_rise:float -> v0:float -> v1:float -> t
+(** Linear transition from [v0] to [v1] starting at [t0] over [t_rise];
+    constant outside the transition. Requires [t_rise > 0.]. *)
+
+val pwl : (float * float) list -> t
+(** Piecewise-linear waveform through the given (time, value) points,
+    which must have strictly increasing times; constant before the first
+    and after the last point. *)

@@ -1,0 +1,224 @@
+module T = Rctree.Tree
+
+type span = { near : float; far : float; lambda : float; slope : float }
+
+type t = { tree : T.t; dens : (float * float) list array }
+
+let tree t = t.tree
+
+let density t v = t.dens.(v)
+
+let check_spans w spans =
+  List.iter
+    (fun s ->
+      if
+        s.near < 0.0
+        || s.far > w.T.length +. 1e-12
+        || s.near >= s.far
+        || s.lambda <= 0.0
+        || s.lambda > 1.0
+        || s.slope <= 0.0
+      then invalid_arg "Coupling.annotate: malformed span")
+    spans
+
+(* Fig. 2: cut points of a wire = union of all span boundaries. *)
+let boundaries w spans =
+  let pts =
+    List.concat_map (fun s -> [ s.near; s.far ]) spans
+    |> List.filter (fun d -> d > 1e-15 && d < w.T.length -. 1e-15)
+    |> List.sort_uniq compare
+  in
+  (0.0 :: pts) @ [ w.T.length ]
+
+let piece_density spans ~lo ~hi =
+  List.filter_map
+    (fun s -> if s.near <= lo +. 1e-15 && s.far >= hi -. 1e-15 then Some (s.lambda, s.slope) else None)
+    spans
+
+let annotate base ~spans =
+  let by_node = Hashtbl.create 16 in
+  List.iter
+    (fun (v, ss) ->
+      if v < 0 || v >= T.node_count base || v = T.root base then
+        invalid_arg "Coupling.annotate: bad node";
+      check_spans (T.wire_to base v) ss;
+      Hashtbl.replace by_node v (ss @ Option.value ~default:[] (Hashtbl.find_opt by_node v)))
+    spans;
+  let b = Rctree.Builder.create () in
+  let dens = ref [] in
+  let note id d = dens := (id, d) :: !dens in
+  let rec emit old_id new_parent =
+    let nd = T.node base old_id in
+    let new_id =
+      match nd.T.kind with
+      | T.Source d ->
+          let id = Rctree.Builder.add_source b ~r_drv:d.T.r_drv ~d_drv:d.T.d_drv in
+          note id [];
+          id
+      | T.Sink s ->
+          let parent, wire, d = chain old_id new_parent in
+          let id =
+            Rctree.Builder.add_sink b ~parent ~wire ~name:s.T.sname ~c_sink:s.T.c_sink
+              ~rat:s.T.rat ~nm:s.T.nm
+          in
+          note id d;
+          id
+      | T.Internal ->
+          let parent, wire, d = chain old_id new_parent in
+          let id = Rctree.Builder.add_internal b ~parent ~wire ~feasible:nd.T.feasible () in
+          note id d;
+          id
+      | T.Buffered buf ->
+          let parent, wire, d = chain old_id new_parent in
+          let id = Rctree.Builder.add_buffered b ~parent ~wire buf in
+          note id d;
+          id
+    in
+    List.iter (fun c -> emit c new_id) (T.children base old_id)
+  and chain old_id new_parent =
+    (* split the parent wire of [old_id] at its span boundaries, emitting
+       the upper pieces as fresh internal nodes; returns parent, wire and
+       density for the bottom piece (the original node) *)
+    let w = T.wire_to base old_id in
+    match Hashtbl.find_opt by_node old_id with
+    | None -> (new_parent, w, [])
+    | Some spans ->
+        let bounds = boundaries w spans in
+        let rec pieces = function
+          | lo :: (hi :: _ as rest) -> (lo, hi) :: pieces rest
+          | [] | [ _ ] -> []
+        in
+        let ps = pieces bounds in
+        let make (lo, hi) =
+          let d = piece_density spans ~lo ~hi in
+          let total_lambda = List.fold_left (fun a (l, _) -> a +. l) 0.0 d in
+          if total_lambda > 1.0 +. 1e-9 then
+            invalid_arg "Coupling.annotate: overlapping lambdas exceed 1";
+          let frac = if w.T.length <= 0.0 then 0.0 else (hi -. lo) /. w.T.length in
+          let piece = T.scale_wire w frac in
+          let cur =
+            List.fold_left (fun a (l, s) -> a +. (l *. piece.T.cap *. s)) 0.0 d
+          in
+          ({ piece with T.cur }, d)
+        in
+        (* top-down: last piece first *)
+        let top_down = List.rev ps in
+        let parent = ref new_parent in
+        let rec place = function
+          | [] -> assert false
+          | [ last ] ->
+              let wire, d = make last in
+              (!parent, wire, d)
+          | p :: rest ->
+              let wire, d = make p in
+              parent := Rctree.Builder.add_internal b ~parent:!parent ~wire ();
+              note !parent d;
+              place rest
+        in
+        place top_down
+  in
+  emit (T.root base) (-1);
+  let tr = Rctree.Builder.finish b in
+  let arr = Array.make (T.node_count tr) [] in
+  List.iter (fun (id, d) -> arr.(id) <- d) !dens;
+  { tree = tr; dens = arr }
+
+let estimation p base =
+  let spans =
+    List.filter_map
+      (fun v ->
+        if v = T.root base then None
+        else begin
+          let w = T.wire_to base v in
+          if w.T.length <= 0.0 then None
+          else
+            Some
+              ( v,
+                [
+                  {
+                    near = 0.0;
+                    far = w.T.length;
+                    lambda = p.Tech.Process.lambda;
+                    slope = Tech.Process.slope p;
+                  };
+                ] )
+        end)
+      (T.postorder base)
+  in
+  annotate base ~spans
+
+let buffered t placements =
+  let tr, prov = Rctree.Surgery.apply_traced t.tree placements in
+  let dens =
+    Array.map
+      (function
+        | Rctree.Surgery.Same old | Rctree.Surgery.Piece_of old -> t.dens.(old))
+      prov
+  in
+  (* the root never carries a parent wire *)
+  dens.(T.root tr) <- [];
+  { tree = tr; dens }
+
+let refine t ~max_len =
+  if max_len <= 0.0 then invalid_arg "Coupling.refine: non-positive max_len";
+  let b = Rctree.Builder.create () in
+  let dens = ref [] in
+  let note id d = dens := (id, d) :: !dens in
+  let rec emit old_id new_parent =
+    let nd = T.node t.tree old_id in
+    let d = t.dens.(old_id) in
+    let new_id =
+      match nd.T.kind with
+      | T.Source dr ->
+          let id = Rctree.Builder.add_source b ~r_drv:dr.T.r_drv ~d_drv:dr.T.d_drv in
+          note id [];
+          id
+      | T.Sink s ->
+          let parent, wire = chain old_id d new_parent in
+          let id =
+            Rctree.Builder.add_sink b ~parent ~wire ~name:s.T.sname ~c_sink:s.T.c_sink
+              ~rat:s.T.rat ~nm:s.T.nm
+          in
+          note id d;
+          id
+      | T.Internal ->
+          let parent, wire = chain old_id d new_parent in
+          let id = Rctree.Builder.add_internal b ~parent ~wire ~feasible:nd.T.feasible () in
+          note id d;
+          id
+      | T.Buffered buf ->
+          let parent, wire = chain old_id d new_parent in
+          let id = Rctree.Builder.add_buffered b ~parent ~wire buf in
+          note id d;
+          id
+    in
+    List.iter (fun c -> emit c new_id) (T.children t.tree old_id)
+  and chain old_id d new_parent =
+    let w = T.wire_to t.tree old_id in
+    let k = Rctree.Segment.pieces_for w.T.length ~max_len in
+    if k = 1 then (new_parent, w)
+    else begin
+      let piece = T.scale_wire w (1.0 /. float_of_int k) in
+      let p = ref new_parent in
+      for _ = 1 to k - 1 do
+        p := Rctree.Builder.add_internal b ~parent:!p ~wire:piece ();
+        note !p d
+      done;
+      (!p, piece)
+    end
+  in
+  emit (T.root t.tree) (-1);
+  let tr = Rctree.Builder.finish b in
+  let arr = Array.make (T.node_count tr) [] in
+  List.iter (fun (id, d) -> arr.(id) <- d) !dens;
+  { tree = tr; dens = arr }
+
+let total_coupling_cap t =
+  List.fold_left
+    (fun acc v ->
+      if v = T.root t.tree then acc
+      else begin
+        let w = T.wire_to t.tree v in
+        acc +. List.fold_left (fun a (l, _) -> a +. (l *. w.T.cap)) 0.0 t.dens.(v)
+      end)
+    0.0 (T.postorder t.tree)

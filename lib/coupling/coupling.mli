@@ -1,0 +1,58 @@
+(** Explicit aggressor coupling: the general form of eq. (6) and the
+    wire-segmenting scheme of the paper's Fig. 2.
+
+    Estimation mode assumes one aggressor over every wire; when routing
+    information is available, each victim wire couples to specific
+    aggressor nets over specific spans. [annotate] cuts every wire at the
+    span boundaries — producing the Fig. 2 picture where each piece is
+    coupled to a fixed aggressor set — and sets the piece's coupled
+    current to [sum_j lambda_j * C_piece * slope_j].
+
+    The annotation keeps, per node, the {e density} of its parent wire:
+    the list of [(lambda_j, slope_j)] pairs active over the whole piece.
+    Densities are intensive, so they survive further proportional
+    splitting; [buffered] carries them through buffer-insertion surgery
+    via {!Rctree.Surgery.apply_traced}. [Noisesim] accepts the density
+    table to simulate each aggressor with its own ramp. *)
+
+type span = {
+  near : float;  (** span start, metres from the wire's {e target} node *)
+  far : float;  (** span end; [near < far <= wire length] *)
+  lambda : float;  (** coupling-to-total capacitance ratio over the span *)
+  slope : float;  (** aggressor signal slope, V/s *)
+}
+
+type t
+
+val tree : t -> Rctree.Tree.t
+
+val density : t -> int -> (float * float) list
+(** [(lambda_j, slope_j)] pairs uniformly coupled to the parent wire of
+    the given node; [[]] for the root and uncoupled wires. *)
+
+val annotate : Rctree.Tree.t -> spans:(int * span list) list -> t
+(** [annotate tree ~spans] with [spans] keyed by node id (the wire
+    [(parent v, v)]): split wires at span boundaries (Fig. 2) and install
+    eq. (6) currents. Wires without spans keep their existing current
+    (e.g. estimation-mode values) and get the empty density. Spans may
+    overlap — overlapping aggressors accumulate. Raises
+    [Invalid_argument] on malformed spans or a total [lambda] above 1 at
+    any point of a wire. *)
+
+val estimation : Tech.Process.t -> Rctree.Tree.t -> t
+(** The paper's estimation mode as an annotation: one full-length span
+    per wire with the process's lambda and slope. *)
+
+val buffered : t -> Rctree.Surgery.placement list -> t
+(** Apply a buffer-insertion solution (placements reference the
+    annotated tree's ids) and re-key the densities onto the new tree. *)
+
+val refine : t -> max_len:float -> t
+(** Wire-segment the annotation like {!Rctree.Segment.refine}: pieces
+    inherit their wire's density (densities are intensive). Lets the
+    count-indexed DP optimizers run on explicit-coupling annotations
+    (see [Bufins.Buffopt.optimize_coupled]). *)
+
+val total_coupling_cap : t -> float
+(** Sum over wires of [sum_j lambda_j * C_w] — the capacitance exposed to
+    aggressors. *)

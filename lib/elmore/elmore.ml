@@ -1,0 +1,54 @@
+module T = Rctree.Tree
+
+let cap_at t =
+  let caps = Array.make (T.node_count t) 0.0 in
+  List.iter
+    (fun v ->
+      caps.(v) <-
+        (match T.kind t v with
+        | T.Sink s -> s.T.c_sink
+        | T.Buffered b -> b.Tech.Buffer.c_in
+        | T.Internal | T.Source _ ->
+            List.fold_left
+              (fun acc c -> acc +. (T.wire_to t c).T.cap +. caps.(c))
+              0.0 (T.children t v)))
+    (T.postorder t);
+  caps
+
+let drive_load t caps g =
+  List.fold_left (fun acc c -> acc +. (T.wire_to t c).T.cap +. caps.(c)) 0.0 (T.children t g)
+
+let wire_delay (w : T.wire) ~load = w.T.res *. ((w.T.cap /. 2.0) +. load)
+
+let arrivals t =
+  let caps = cap_at t in
+  let arr = Array.make (T.node_count t) 0.0 in
+  let gate_delay v =
+    match T.kind t v with
+    | T.Source d -> d.T.d_drv +. (d.T.r_drv *. drive_load t caps v)
+    | T.Buffered b -> Tech.Buffer.gate_delay b ~load:(drive_load t caps v)
+    | T.Sink _ | T.Internal -> 0.0
+  in
+  List.iter
+    (fun v ->
+      if v = T.root t then arr.(v) <- gate_delay v
+      else begin
+        let w = T.wire_to t v in
+        arr.(v) <- arr.(T.parent t v) +. wire_delay w ~load:caps.(v) +. gate_delay v
+      end)
+    (T.postorder t |> List.rev);
+  arr
+
+let sink_arrivals t =
+  let arr = arrivals t in
+  List.map (fun s -> (s, arr.(s))) (T.sinks t)
+
+let slack t =
+  List.fold_left
+    (fun acc (s, a) ->
+      match T.kind t s with
+      | T.Sink sk -> Float.min acc (sk.T.rat -. a)
+      | T.Source _ | T.Internal | T.Buffered _ -> acc)
+    infinity (sink_arrivals t)
+
+let worst_delay t = List.fold_left (fun acc (_, a) -> Float.max acc a) neg_infinity (sink_arrivals t)

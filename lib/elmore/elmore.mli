@@ -1,0 +1,43 @@
+(** Elmore delay analysis on routing trees (paper Section II-A).
+
+    Implements eqs. (1)-(5): lumped downstream loads, wire delays
+    [R_w (C_w/2 + C(v))], the linear gate delay [d + r * load], per-sink
+    source-to-sink path delays, and timing slack. Buffered nodes delimit
+    stages: the capacitance behind a buffer never loads the upstream
+    stage — the stage sees only the buffer's input capacitance.
+
+    These functions recompute everything from scratch; the dynamic
+    programs in [Bufins] maintain the same quantities incrementally and
+    are tested against this module. *)
+
+val cap_at : Rctree.Tree.t -> float array
+(** [cap_at t] maps every node [v] to the capacitance it presents to the
+    stage above it (eq. 1): a sink presents [c_sink], a buffered node
+    presents its buffer's [c_in], and internal nodes present the sum of
+    child wire capacitances and child [cap_at] values. The source entry is
+    its stage load. *)
+
+val drive_load : Rctree.Tree.t -> float array -> int -> float
+(** [drive_load t caps g] is the load driven by gate [g] (the source or a
+    buffered node): the sum over its children of wire capacitance plus the
+    child's [cap_at]. [caps] must come from {!cap_at}. *)
+
+val wire_delay : Rctree.Tree.wire -> load:float -> float
+(** Eq. (2): [res *. (cap /. 2. +. load)] where [load] is the lumped
+    capacitance at the wire's target. *)
+
+val arrivals : Rctree.Tree.t -> float array
+(** Arrival time at every node assuming the source input switches at
+    [t = 0] (eq. 4): gate delays at the source and at every buffer, wire
+    delays along the path. The entry for a buffered node is the time at
+    the buffer's {e output}. *)
+
+val sink_arrivals : Rctree.Tree.t -> (int * float) list
+(** Arrival times of the real sinks, in tree order. *)
+
+val slack : Rctree.Tree.t -> float
+(** Eq. (5): [min over sinks (rat - arrival)]. The circuit meets timing
+    iff the result is non-negative. *)
+
+val worst_delay : Rctree.Tree.t -> float
+(** Maximum source-to-sink delay. *)

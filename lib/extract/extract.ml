@@ -1,0 +1,121 @@
+module P = Geometry.Point
+module T = Rctree.Tree
+
+type routed = {
+  rnet : Steiner.Net.t;
+  tree : Rctree.Tree.t;
+  geometry : (P.t * P.t) option array;
+}
+
+let route process net =
+  let g = Steiner.Build.of_net net in
+  let tree, geometry = Steiner.Build.to_rctree_traced process net g in
+  (* extraction supplies the coupling; strip the estimation currents *)
+  let tree = T.map_wires tree (fun _ w -> { w with T.cur = 0.0 }) in
+  { rnet = net; tree; geometry }
+
+type config = { window : int; pitch : int; lambda_at_pitch : float; slope : float }
+
+let default_config p =
+  (* 0.35 per side: a victim squeezed between two minimum-pitch
+     neighbours sees the estimation-mode corner of 0.7 total *)
+  { window = 1200; pitch = 400; lambda_at_pitch = 0.35; slope = Tech.Process.slope p }
+
+let lambda_of_spacing cfg spacing =
+  if spacing <= 0 || spacing > cfg.window then 0.0
+  else Float.min cfg.lambda_at_pitch (cfg.lambda_at_pitch *. float_of_int cfg.pitch /. float_of_int spacing)
+
+(* orientation of an axis-aligned segment; [None] for degenerate points *)
+let orient (a : P.t) (b : P.t) =
+  if a.P.y = b.P.y && a.P.x <> b.P.x then Some `H
+  else if a.P.x = b.P.x && a.P.y <> b.P.y then Some `V
+  else None
+
+(* Overlap of the victim wire segment [(vp, vn)] (parent point, node
+   point) with aggressor segment [(aa, ab)]: returns
+   (near, far, spacing, side) with distances measured from the node
+   point [vn], in nm; [side] distinguishes aggressors above/right from
+   below/left for shielding. *)
+let overlap (vp, vn) (aa, ab) =
+  match (orient vp vn, orient aa ab) with
+  | Some `H, Some `H when vp.P.y <> aa.P.y ->
+      let lo = max (min vp.P.x vn.P.x) (min aa.P.x ab.P.x) in
+      let hi = min (max vp.P.x vn.P.x) (max aa.P.x ab.P.x) in
+      if lo >= hi then None
+      else begin
+        let d1 = abs (vn.P.x - lo) and d2 = abs (vn.P.x - hi) in
+        Some (min d1 d2, max d1 d2, abs (vp.P.y - aa.P.y), compare aa.P.y vp.P.y)
+      end
+  | Some `V, Some `V when vp.P.x <> aa.P.x ->
+      let lo = max (min vp.P.y vn.P.y) (min aa.P.y ab.P.y) in
+      let hi = min (max vp.P.y vn.P.y) (max aa.P.y ab.P.y) in
+      if lo >= hi then None
+      else begin
+        let d1 = abs (vn.P.y - lo) and d2 = abs (vn.P.y - hi) in
+        Some (min d1 d2, max d1 d2, abs (vp.P.x - aa.P.x), compare aa.P.x vp.P.x)
+      end
+  | _, _ -> None
+
+let victim_spans cfg ~victim ~aggressors =
+  (* candidate overlaps per victim wire, tagged with spacing and side *)
+  let raw : (int, (Coupling.span * int * int) list) Hashtbl.t = Hashtbl.create 16 in
+  Array.iteri
+    (fun v geo ->
+      match geo with
+      | None -> ()
+      | Some vseg ->
+          List.iter
+            (fun agg ->
+              Array.iter
+                (fun ageo ->
+                  match ageo with
+                  | None -> ()
+                  | Some aseg -> (
+                      match overlap vseg aseg with
+                      | None -> ()
+                      | Some (near_nm, far_nm, spacing, side) ->
+                          let lambda = lambda_of_spacing cfg spacing in
+                          if lambda > 0.0 then begin
+                            let span =
+                              {
+                                Coupling.near = Tech.Process.of_nm near_nm;
+                                far = Tech.Process.of_nm far_nm;
+                                lambda;
+                                slope = cfg.slope;
+                              }
+                            in
+                            Hashtbl.replace raw v
+                              ((span, spacing, side)
+                              :: Option.value ~default:[] (Hashtbl.find_opt raw v))
+                          end))
+                agg.geometry)
+            aggressors)
+    victim.geometry;
+  (* shielding: per side, only the closest aggressor couples *)
+  let shield entries =
+    let closest side =
+      List.filter (fun (_, _, s) -> s = side) entries
+      |> List.fold_left (fun acc (_, d, _) -> min acc d) max_int
+    in
+    let keep_above = closest 1 and keep_below = closest (-1) in
+    List.filter_map
+      (fun (span, d, side) ->
+        if (side > 0 && d = keep_above) || (side < 0 && d = keep_below) then Some span else None)
+      entries
+  in
+  (* a wire cannot expose more than its whole capacitance: when stacked
+     aggressors would push the summed ratio past 1, normalize *)
+  let normalize ss =
+    let total = List.fold_left (fun a (s : Coupling.span) -> a +. s.Coupling.lambda) 0.0 ss in
+    if total <= 0.95 then ss
+    else
+      List.map
+        (fun (s : Coupling.span) -> { s with Coupling.lambda = s.Coupling.lambda *. 0.95 /. total })
+        ss
+  in
+  Hashtbl.fold (fun v entries acc -> (v, normalize (shield entries)) :: acc) raw []
+  |> List.filter (fun (_, ss) -> ss <> [])
+  |> List.sort compare
+
+let annotate cfg ~victim ~aggressors =
+  Coupling.annotate victim.tree ~spans:(victim_spans cfg ~victim ~aggressors)

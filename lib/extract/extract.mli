@@ -1,0 +1,52 @@
+(** Coupling extraction from routed geometry.
+
+    When routing is known, estimation mode's "one worst-case aggressor
+    everywhere" gives way to real coupling: two wires couple where they
+    run parallel within a window, with a ratio that falls off with their
+    spacing — the paper's eq. (17) model [lambda = kappa / spacing].
+
+    [victim_spans] walks a victim's routed segments, finds every parallel
+    overlap with the other nets' segments, converts each overlap into a
+    {!Coupling.span} in the victim wire's own coordinates (distance from
+    its child node), and the result feeds [Coupling.annotate] — closing
+    the loop routing -> extraction -> Fig. 2 segmentation -> analysis /
+    BuffOpt. *)
+
+type routed = {
+  rnet : Steiner.Net.t;
+  tree : Rctree.Tree.t;
+  geometry : (Geometry.Point.t * Geometry.Point.t) option array;
+      (** per node: parent-wire segment, from {!Steiner.Build.to_rctree_traced} *)
+}
+
+val route : Tech.Process.t -> Steiner.Net.t -> routed
+(** Build the Steiner tree and keep its geometry. The tree's wires carry
+    {e no} estimation-mode current ([cur = 0]) — extraction supplies the
+    coupling. *)
+
+type config = {
+  window : int;  (** max centre-to-centre coupling distance, nm *)
+  pitch : int;  (** spacing at which [lambda_at_pitch] applies, nm *)
+  lambda_at_pitch : float;  (** coupling ratio at minimum pitch *)
+  slope : float;  (** aggressor slope for every extracted span, V/s *)
+}
+
+val default_config : Tech.Process.t -> config
+(** window 1200 nm, pitch 400 nm, lambda 0.35 at pitch per side — a
+    victim squeezed between two minimum-pitch neighbours sees the
+    paper's estimation-mode corner of 0.7 total — and the process's
+    slope. *)
+
+val lambda_of_spacing : config -> int -> float
+(** Eq. (17): [lambda_at_pitch *. pitch / spacing], zero beyond the
+    window. *)
+
+val victim_spans : config -> victim:routed -> aggressors:routed list -> (int * Coupling.span list) list
+(** Spans keyed by the victim tree's node ids; feed to
+    [Coupling.annotate] on [victim.tree]. Overlaps of zero length and
+    couplings beyond the window are dropped; per side only the closest
+    aggressor couples (shielding), and summed ratios are normalized
+    below 1 (a wire cannot expose more than its own capacitance). *)
+
+val annotate : config -> victim:routed -> aggressors:routed list -> Coupling.t
+(** [victim_spans] + [Coupling.annotate]. *)

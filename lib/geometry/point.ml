@@ -1,0 +1,13 @@
+type t = { x : int; y : int }
+
+let make x y = { x; y }
+
+let equal a b = a.x = b.x && a.y = b.y
+
+let compare a b =
+  let c = Stdlib.compare a.x b.x in
+  if c <> 0 then c else Stdlib.compare a.y b.y
+
+let manhattan a b = abs (a.x - b.x) + abs (a.y - b.y)
+
+let pp ppf p = Format.fprintf ppf "(%d,%d)" p.x p.y

@@ -1,0 +1,17 @@
+(** Integer grid points.
+
+    Placement coordinates are integers in nanometres; the technology layer
+    converts lengths to metres at the boundary. *)
+
+type t = { x : int; y : int }
+
+val make : int -> int -> t
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val manhattan : t -> t -> int
+(** Rectilinear (L1) distance. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,97 @@
+type t = { n : int; a : float array }
+
+let create n =
+  assert (n >= 0);
+  { n; a = Array.make (n * n) 0.0 }
+
+let dim m = m.n
+
+let idx m i j =
+  assert (i >= 0 && i < m.n && j >= 0 && j < m.n);
+  (i * m.n) + j
+
+let get m i j = m.a.(idx m i j)
+
+let set m i j v = m.a.(idx m i j) <- v
+
+let add m i j v = m.a.(idx m i j) <- m.a.(idx m i j) +. v
+
+let copy m = { n = m.n; a = Array.copy m.a }
+
+let mul_vec m x =
+  assert (Array.length x = m.n);
+  let y = Array.make m.n 0.0 in
+  for i = 0 to m.n - 1 do
+    let s = ref 0.0 in
+    let base = i * m.n in
+    for j = 0 to m.n - 1 do
+      s := !s +. (m.a.(base + j) *. x.(j))
+    done;
+    y.(i) <- !s
+  done;
+  y
+
+type lu = { lun : int; lua : float array; piv : int array }
+
+exception Singular of int
+
+let lu_factor m =
+  let n = m.n in
+  let a = Array.copy m.a in
+  let piv = Array.init n (fun i -> i) in
+  for k = 0 to n - 1 do
+    (* partial pivoting: bring the largest remaining entry of column k up *)
+    let best = ref k and bestv = ref (Float.abs a.((k * n) + k)) in
+    for i = k + 1 to n - 1 do
+      let v = Float.abs a.((i * n) + k) in
+      if v > !bestv then begin
+        best := i;
+        bestv := v
+      end
+    done;
+    if !bestv < 1e-300 then raise (Singular k);
+    if !best <> k then begin
+      let b = !best in
+      for j = 0 to n - 1 do
+        let tmp = a.((k * n) + j) in
+        a.((k * n) + j) <- a.((b * n) + j);
+        a.((b * n) + j) <- tmp
+      done;
+      let tp = piv.(k) in
+      piv.(k) <- piv.(b);
+      piv.(b) <- tp
+    end;
+    let pivot = a.((k * n) + k) in
+    for i = k + 1 to n - 1 do
+      let f = a.((i * n) + k) /. pivot in
+      a.((i * n) + k) <- f;
+      if f <> 0.0 then
+        for j = k + 1 to n - 1 do
+          a.((i * n) + j) <- a.((i * n) + j) -. (f *. a.((k * n) + j))
+        done
+    done
+  done;
+  { lun = n; lua = a; piv }
+
+let lu_solve f b =
+  let n = f.lun in
+  assert (Array.length b = n);
+  let x = Array.make n 0.0 in
+  (* forward substitution on the permuted right-hand side *)
+  for i = 0 to n - 1 do
+    let s = ref b.(f.piv.(i)) in
+    for j = 0 to i - 1 do
+      s := !s -. (f.lua.((i * n) + j) *. x.(j))
+    done;
+    x.(i) <- !s
+  done;
+  for i = n - 1 downto 0 do
+    let s = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (f.lua.((i * n) + j) *. x.(j))
+    done;
+    x.(i) <- !s /. f.lua.((i * n) + i)
+  done;
+  x
+
+let solve m b = lu_solve (lu_factor m) b

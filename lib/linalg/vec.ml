@@ -1,0 +1,34 @@
+type t = float array
+
+let make n = Array.make n 0.0
+
+let copy = Array.copy
+
+let axpy a x y =
+  assert (Array.length x = Array.length y);
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- y.(i) +. (a *. x.(i))
+  done
+
+let scale a x =
+  for i = 0 to Array.length x - 1 do
+    x.(i) <- a *. x.(i)
+  done
+
+let dot x y =
+  assert (Array.length x = Array.length y);
+  let s = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    s := !s +. (x.(i) *. y.(i))
+  done;
+  !s
+
+let norm_inf x = Array.fold_left (fun m v -> Float.max m (Float.abs v)) 0.0 x
+
+let max_abs_diff x y =
+  assert (Array.length x = Array.length y);
+  let m = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    m := Float.max !m (Float.abs (x.(i) -. y.(i)))
+  done;
+  !m

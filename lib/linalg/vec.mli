@@ -1,0 +1,19 @@
+(** Dense float vectors (thin helpers over [float array]). *)
+
+type t = float array
+
+val make : int -> t
+(** Zero vector. *)
+
+val copy : t -> t
+
+val axpy : float -> t -> t -> unit
+(** [axpy a x y] performs [y <- a*x + y] in place. *)
+
+val scale : float -> t -> unit
+
+val dot : t -> t -> float
+
+val norm_inf : t -> float
+
+val max_abs_diff : t -> t -> float

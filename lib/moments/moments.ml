@@ -1,0 +1,138 @@
+module T = Rctree.Tree
+
+(* Lumped node capacitances for the pi model: each node collects half the
+   capacitance of every adjacent stage wire, plus its pin capacitance when
+   it is a stage leaf. *)
+let gate_resistance t g =
+  match T.kind t g with
+  | T.Source d -> d.T.r_drv
+  | T.Buffered b -> b.Tech.Buffer.r_b
+  | T.Sink _ | T.Internal -> invalid_arg "Moments: not a gate"
+
+(* Lumped pi-model capacitance of node [v] within the stage rooted at
+   [g]: half of its parent wire (except for the stage root, whose parent
+   wire belongs upstream), half of each child wire still inside the
+   stage, and the pin capacitance when [v] is a stage leaf. *)
+let stage_cap t g v =
+  let half w = w.T.cap /. 2.0 in
+  let parent_half = if v = g then 0.0 else half (T.wire_to t v) in
+  if v <> g && T.is_stage_leaf t v then
+    parent_half
+    +.
+    (match T.kind t v with
+    | T.Sink s -> s.T.c_sink
+    | T.Buffered b -> b.Tech.Buffer.c_in
+    | T.Source _ | T.Internal -> assert false)
+  else
+    parent_half +. List.fold_left (fun acc c -> acc +. half (T.wire_to t c)) 0.0 (T.children t v)
+
+let stage_moments t ~order =
+  if order < 1 then invalid_arg "Moments.stage_moments: order must be >= 1";
+  let n = T.node_count t in
+  (* m.(k).(v): k-th input-side moment of node v within its upstream
+     stage; the root's entry is the moment just after the driver. *)
+  let m = Array.init (order + 1) (fun _ -> Array.make n 0.0) in
+  Array.fill m.(0) 0 n 1.0;
+  List.iter
+    (fun g ->
+      let members = T.stage_members t g in
+      let bottom_up = List.rev members in
+      let caps = Hashtbl.create 16 in
+      Hashtbl.replace caps g (stage_cap t g g);
+      List.iter (fun v -> Hashtbl.replace caps v (stage_cap t g v)) members;
+      (* the stage root's own moments live locally: for a buffered gate the
+         global slot holds its input-side (upstream-stage) moments *)
+      let root_m = Array.make (order + 1) 0.0 in
+      root_m.(0) <- 1.0;
+      let mom k v = if v = g then root_m.(k) else m.(k).(v) in
+      for k = 1 to order do
+        (* B_k(v) = sum over v's sub-stage of C_u * m_(k-1)(u), bottom-up *)
+        let b = Hashtbl.create 16 in
+        let get v = match Hashtbl.find_opt b v with Some x -> x | None -> 0.0 in
+        let fill v =
+          let own = Hashtbl.find caps v *. mom (k - 1) v in
+          let below =
+            if v <> g && T.is_stage_leaf t v then 0.0
+            else List.fold_left (fun acc c -> acc +. get c) 0.0 (T.children t v)
+          in
+          Hashtbl.replace b v (own +. below)
+        in
+        List.iter fill bottom_up;
+        fill g;
+        root_m.(k) <- -.(gate_resistance t g *. get g);
+        (* top-down: m_k(v) = m_k(parent) - R_wire * B_k(v) *)
+        List.iter
+          (fun v ->
+            let w = T.wire_to t v in
+            m.(k).(v) <- mom k (T.parent t v) -. (w.T.res *. get v))
+          members
+      done;
+      if g = T.root t then for k = 1 to order do m.(k).(g) <- root_m.(k) done)
+    (T.gates t);
+  Array.sub m 1 order
+
+let elmore_delay ~m1 = -.m1
+
+let ln2 = log 2.0
+
+let d2m ~m1 ~m2 =
+  assert (m2 > 0.0);
+  ln2 *. m1 *. m1 /. sqrt m2
+
+type two_pole = Two of { k1 : float; p1 : float; k2 : float; p2 : float } | One of { tau : float }
+
+let fit ~m1 ~m2 ~m3 =
+  let fallback () = One { tau = Float.max 1e-30 (-.m1) } in
+  let d = (m1 *. m1) -. m2 in
+  if Float.abs d < 1e-300 then fallback ()
+  else begin
+    let b1 = ((m1 *. m2) -. m3) /. d in
+    let b2 = ((m2 *. m2) -. (m1 *. m3)) /. d in
+    let a1 = m1 +. b1 in
+    if b2 <= 0.0 then fallback ()
+    else begin
+      let disc = (b1 *. b1) -. (4.0 *. b2) in
+      if disc < 0.0 then fallback ()
+      else begin
+        let sq = sqrt disc in
+        let p1 = (-.b1 +. sq) /. (2.0 *. b2) in
+        let p2 = (-.b1 -. sq) /. (2.0 *. b2) in
+        if p1 >= 0.0 || p2 >= 0.0 then fallback ()
+        else begin
+          (* step response: 1 + k1 e^{p1 t} + k2 e^{p2 t} with
+             k_i = -(1 + a1 p_i) / (b2 p_i (p_i - p_j)) *)
+          let k1 = -.(1.0 +. (a1 *. p1)) /. (b2 *. p1 *. (p1 -. p2)) in
+          let k2 = -.(1.0 +. (a1 *. p2)) /. (b2 *. p2 *. (p2 -. p1)) in
+          Two { k1; p1; k2; p2 }
+        end
+      end
+    end
+  end
+
+let response fitted time =
+  match fitted with
+  | One { tau } -> 1.0 -. exp (-.time /. tau)
+  | Two { k1; p1; k2; p2 } -> 1.0 +. (k1 *. exp (p1 *. time)) +. (k2 *. exp (p2 *. time))
+
+let step_response_two_pole ~m1 ~m2 ~m3 time = response (fit ~m1 ~m2 ~m3) time
+
+let two_pole_delay50 ~m1 ~m2 ~m3 =
+  let f = fit ~m1 ~m2 ~m3 in
+  match f with
+  | One { tau } -> ln2 *. tau
+  | Two _ ->
+      (* bisection for the 50% crossing; the response is monotone for real
+         stable RC poles *)
+      let target = 0.5 in
+      let hi = ref (Float.max (-.m1 *. 4.0) 1e-15) in
+      let guard = ref 0 in
+      while response f !hi < target && !guard < 64 do
+        hi := !hi *. 2.0;
+        incr guard
+      done;
+      let lo = ref 0.0 in
+      for _ = 1 to 80 do
+        let mid = ( !lo +. !hi ) /. 2.0 in
+        if response f mid < target then lo := mid else hi := mid
+      done;
+      (!lo +. !hi) /. 2.0

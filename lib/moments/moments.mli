@@ -1,0 +1,40 @@
+(** RC-tree transfer-function moments and moment-matching delay metrics
+    (AWE [25] / RICE [27] class — the machinery behind tools like the
+    paper's 3dnoise verifier, and footnote 4's constant-time delay
+    metrics).
+
+    Each buffered stage is an RC tree driven through its gate's output
+    resistance. Wires use the pi approximation (half the capacitance at
+    each end); stage leaves add their pin capacitance. The signed
+    transfer-function moments at node [v] satisfy [m_0 = 1] and
+
+    [m_k(v) = - sum_u R(path cap) C_u m_(k-1)(u)]
+
+    so [-m_1] is exactly the Elmore delay (tested against [Elmore]). *)
+
+val stage_moments : Rctree.Tree.t -> order:int -> float array array
+(** [stage_moments t ~order] returns [m] with [m.(k-1).(v) = m_k(v)] for
+    [k = 1..order]. Every non-root node carries its {e input-side}
+    moments relative to the gate driving the stage that contains its
+    parent wire (for a buffered node, that is the buffer's input pin);
+    the root carries the moments just after the source's driving
+    resistance. Requires [order >= 1]. *)
+
+val elmore_delay : m1:float -> float
+(** First-moment delay bound: [-. m1]. *)
+
+val d2m : m1:float -> m2:float -> float
+(** The D2M metric: [ln 2 *. m1^2 /. sqrt m2]; a well-known closed-form
+    improvement over Elmore for far-from-driver nodes. Requires
+    [m2 > 0.]. *)
+
+val two_pole_delay50 : m1:float -> m2:float -> m3:float -> float
+(** 50%-crossing delay of the two-pole Pade approximation built from the
+    first three moments; falls back to the single-pole model
+    [ln 2 *. -. m1] when the Pade denominator is degenerate or the poles
+    are not real and stable. *)
+
+val step_response_two_pole : m1:float -> m2:float -> m3:float -> float -> float
+(** Value at time [t] of the two-pole step response (same fallback rules
+    as {!two_pole_delay50}); used to validate against the transient
+    simulator. *)

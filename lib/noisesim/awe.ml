@@ -1,0 +1,41 @@
+type leaf_estimate = { leaf : int; plateau : float; peak : float; tau : float }
+
+let of_deck (cfg : Deck.config) (deck : Deck.t) =
+  let probes = List.map snd deck.Deck.probes in
+  let per_source =
+    Circuit.Acmoments.transfer_moments deck.Deck.netlist ~order:2 ~probes
+  in
+  let slope_of =
+    List.map (fun (node, slope) -> (Circuit.Netlist.node_id node, slope)) deck.Deck.sources
+  in
+  List.mapi
+    (fun p (leaf, _) ->
+      let plateau = ref 0.0 and peak = ref 0.0 and tau = ref 0.0 in
+      List.iter
+        (fun (m : Circuit.Acmoments.t) ->
+          match List.assoc_opt (Circuit.Netlist.node_id m.Circuit.Acmoments.source) slope_of with
+          | None -> ()
+          | Some slope ->
+              let h1 = m.Circuit.Acmoments.moments.(1).(p) in
+              let h2 = m.Circuit.Acmoments.moments.(2).(p) in
+              let t_rise = cfg.Deck.vdd /. slope in
+              (* h1 > 0 and h2 < 0 for capacitive coupling into an RC
+                 victim; the dominant pole gives tau = -h2/h1 *)
+              let tj = if h1 > 0.0 then Float.abs (h2 /. h1) else 0.0 in
+              let contribution = slope *. h1 in
+              plateau := !plateau +. contribution;
+              peak :=
+                !peak
+                +. contribution *. (if tj > 0.0 then 1.0 -. exp (-.t_rise /. tj) else 1.0);
+              tau := Float.max !tau tj)
+        per_source;
+      { leaf; plateau = !plateau; peak = !peak; tau = !tau })
+    deck.Deck.probes
+
+let net ?config ?density p tree =
+  let cfg = match config with Some c -> c | None -> Deck.default_config p in
+  List.concat_map
+    (fun g ->
+      let deck = Deck.of_stage ?density cfg tree ~gate:g in
+      List.map (fun est -> (est.leaf, est)) (of_deck cfg deck))
+    (Rctree.Tree.gates tree)

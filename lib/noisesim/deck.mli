@@ -1,0 +1,48 @@
+(** Coupled-RC decks for one buffered stage of a routing tree.
+
+    This is the detailed model behind the project's 3dnoise substitute
+    (DESIGN.md, substitution 2): the stage's driving gate holds the victim
+    quiet through its output resistance, every wire is discretized into RC
+    segments with its ground and coupling capacitance split per the pi
+    model, and all coupling capacitors hang off one common aggressor node
+    driven by a ramp — the worst-case simultaneous-switching assumption of
+    the paper's estimation mode. Each wire's total coupling capacitance is
+    recovered from its stored coupled current as [cur /. slope] (inverting
+    eq. 6), so decks work for any aggressor assignment, not just uniform
+    estimation mode. *)
+
+type config = {
+  n_seg : int;  (** RC segments per wire (>= 1); 8 is plenty *)
+  vdd : float;  (** aggressor swing, V *)
+  t_rise : float;  (** aggressor ramp time, s *)
+  l_per_m : float;  (** series wire inductance, H/m; 0 gives pure RC *)
+}
+
+val default_config : Tech.Process.t -> config
+(** [n_seg = 8] with the process's [vdd] and [t_rise]; no inductance.
+    On-chip lines are heavily overdamped at realistic [l_per_m]
+    (~0.2-0.5 uH/m), the regime where the Devgan bound still holds
+    (Section II-B); the RLC tests exercise this. *)
+
+type t = {
+  netlist : Circuit.Netlist.t;
+  probes : (int * Circuit.Netlist.node) list;  (** stage leaf -> circuit node *)
+  sources : (Circuit.Netlist.node * float) list;  (** aggressor ramp node, slope V/s *)
+  tau : float;  (** crude stage time constant, for time-window sizing *)
+}
+
+val of_stage : ?density:(int -> (float * float) list) -> config -> Rctree.Tree.t -> gate:int -> t
+(** Build the deck for the stage rooted at gate [gate] (the source or a
+    buffered node). Raises [Invalid_argument] if [gate] is not a gate.
+
+    [density], keyed by node id, gives explicit per-wire aggressor
+    couplings as [(lambda_j, slope_j)] pairs (see [Coupling.density]):
+    each distinct slope gets its own ramp source with rise time
+    [vdd /. slope], and the wire's coupling capacitance splits as
+    [lambda_j *. cap] per aggressor. Wires with an empty density (and
+    all wires when [density] is absent) fall back to the single
+    worst-case aggressor implied by their stored current. *)
+
+val peak_noise : ?record:bool -> config -> t -> (int * float) list
+(** Simulate the deck and return the peak |voltage| observed at every
+    stage leaf. The window is [t_rise + 6 tau] with at most 6000 steps. *)

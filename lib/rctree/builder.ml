@@ -1,0 +1,82 @@
+type entry = { kind : Tree.kind; parent : int; wire : Tree.wire option; feasible : bool }
+
+type t = { mutable entries : entry list; mutable count : int; mutable has_source : bool }
+
+let create () = { entries = []; count = 0; has_source = false }
+
+let push t e =
+  t.entries <- e :: t.entries;
+  let id = t.count in
+  t.count <- id + 1;
+  id
+
+let add_source t ~r_drv ~d_drv =
+  if t.has_source then invalid_arg "Builder.add_source: source already added";
+  if t.count <> 0 then invalid_arg "Builder.add_source: source must be first";
+  t.has_source <- true;
+  push t { kind = Tree.Source { r_drv; d_drv }; parent = -1; wire = None; feasible = false }
+
+let check_parent t parent =
+  if parent < 0 || parent >= t.count then invalid_arg "Builder.add: unknown parent"
+
+let add_sink t ~parent ~wire ~name ~c_sink ~rat ~nm =
+  check_parent t parent;
+  push t
+    {
+      kind = Tree.Sink { sname = name; c_sink; rat; nm };
+      parent;
+      wire = Some wire;
+      feasible = false;
+    }
+
+let add_internal t ~parent ~wire ?(feasible = true) () =
+  check_parent t parent;
+  push t { kind = Tree.Internal; parent; wire = Some wire; feasible }
+
+let add_buffered t ~parent ~wire b =
+  check_parent t parent;
+  push t { kind = Tree.Buffered b; parent; wire = Some wire; feasible = false }
+
+let finish t =
+  if not t.has_source then invalid_arg "Builder.finish: no source";
+  let base = Array.of_list (List.rev t.entries) in
+  let n = Array.length base in
+  let kids = Array.make n [] in
+  Array.iteri (fun i e -> if e.parent >= 0 then kids.(e.parent) <- i :: kids.(e.parent)) base;
+  Array.iteri (fun i l -> kids.(i) <- List.rev l) kids;
+  (* Binarize: a node with children [c1; c2; ...; ck], k > 2, keeps c1 and a
+     zero-wire dummy; the dummy receives the remaining children and recurses. *)
+  let extra = ref [] in
+  let extra_count = ref 0 in
+  let reparent = Hashtbl.create 16 in
+  let fresh_dummy parent =
+    let id = n + !extra_count in
+    incr extra_count;
+    extra := { kind = Tree.Internal; parent; wire = Some Tree.zero_wire; feasible = false } :: !extra;
+    id
+  in
+  let rec spread parent = function
+    | [] | [ _ ] | [ _; _ ] -> ()
+    | c1 :: rest ->
+        ignore c1;
+        let d = fresh_dummy parent in
+        List.iter (fun c -> Hashtbl.replace reparent c d) rest;
+        spread d rest
+  in
+  Array.iteri (fun i l -> spread i l) kids;
+  let all =
+    Array.append
+      (Array.mapi
+         (fun i e ->
+           let parent = match Hashtbl.find_opt reparent i with Some p -> p | None -> e.parent in
+           { Tree.kind = e.kind; parent; wire = e.wire; feasible = e.feasible })
+         base)
+      (Array.of_list
+         (List.rev_map
+            (fun e -> { Tree.kind = e.kind; parent = e.parent; wire = e.wire; feasible = e.feasible })
+            !extra))
+  in
+  let tree = Tree.unsafe_make all in
+  match Tree.validate tree with
+  | Ok () -> tree
+  | Error e -> invalid_arg ("Builder.finish: " ^ e)

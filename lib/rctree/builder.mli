@@ -1,0 +1,27 @@
+(** Incremental routing-tree construction.
+
+    Clients add a single source and then arbitrary-fanout children; [finish]
+    converts the result to the binary form the algorithms require, inserting
+    zero-length wires to infeasible dummy nodes for every node with more
+    than two children (paper, footnote 1). Ids handed out by [add_*] remain
+    valid in the finished tree; dummy nodes are appended after them. *)
+
+type t
+
+val create : unit -> t
+
+val add_source : t -> r_drv:float -> d_drv:float -> int
+(** Add the unique source; must be called exactly once, first. *)
+
+val add_sink :
+  t -> parent:int -> wire:Tree.wire -> name:string -> c_sink:float -> rat:float -> nm:float -> int
+
+val add_internal : t -> parent:int -> wire:Tree.wire -> ?feasible:bool -> unit -> int
+(** Feasible by default (a legal buffer position for the DP algorithms). *)
+
+val add_buffered : t -> parent:int -> wire:Tree.wire -> Tech.Buffer.t -> int
+(** A pre-inserted buffer (used by tests and by {!Surgery.apply}). *)
+
+val finish : t -> Tree.t
+(** Binarize and freeze. Raises [Invalid_argument] if no source was added
+    or the structure is malformed (checked via {!Tree.validate}). *)

@@ -1,0 +1,56 @@
+let wire_owner t u v =
+  if u >= 0 && v >= 0 && u < Tree.node_count t && v < Tree.node_count t then
+    if Tree.parent t u = v then Some u else if Tree.parent t v = u then Some v else None
+  else None
+
+let at t ~port ~r_drv ~d_drv ~old_source =
+  (match Tree.kind t port with
+  | Tree.Sink _ -> ()
+  | Tree.Source _ | Tree.Internal | Tree.Buffered _ ->
+      invalid_arg "Reroot.at: port must be a sink");
+  let n = Tree.node_count t in
+  let path = Tree.path_up t port in
+  (* start from the current nodes, then rewire along the path *)
+  let nodes =
+    Array.init n (fun v ->
+        let nd = Tree.node t v in
+        { Tree.kind = nd.Tree.kind; parent = nd.Tree.parent; wire = nd.Tree.wire; feasible = nd.Tree.feasible })
+  in
+  let root = Tree.root t in
+  (* reverse parent pointers: each path node's old wire moves to its old
+     parent, which becomes its child *)
+  let rec reverse = function
+    | a :: (b :: _ as rest) ->
+        let a_wire = nodes.(a).Tree.wire in
+        nodes.(b) <- { (nodes.(b)) with Tree.parent = a; wire = a_wire };
+        reverse rest
+    | [] | [ _ ] -> ()
+  in
+  reverse path;
+  nodes.(port) <- { (nodes.(port)) with Tree.kind = Tree.Source { Tree.r_drv; d_drv }; parent = -1; wire = None };
+  (* the old driver's pin becomes a sink *)
+  let old_root_keeps_children =
+    List.exists (fun c -> not (List.mem c path)) (Tree.children t root)
+  in
+  if old_root_keeps_children then begin
+    nodes.(root) <- { (nodes.(root)) with Tree.kind = Tree.Internal; feasible = true };
+    let extra =
+      {
+        Tree.kind = Tree.Sink old_source;
+        parent = root;
+        wire = Some Tree.zero_wire;
+        feasible = false;
+      }
+    in
+    let tree = Tree.unsafe_make (Array.append nodes [| extra |]) in
+    match Tree.validate tree with
+    | Ok () -> tree
+    | Error e -> invalid_arg ("Reroot.at: " ^ e)
+  end
+  else begin
+    nodes.(root) <- { (nodes.(root)) with Tree.kind = Tree.Sink old_source };
+    let tree = Tree.unsafe_make nodes in
+    match Tree.validate tree with
+    | Ok () -> tree
+    | Error e -> invalid_arg ("Reroot.at: " ^ e)
+  end

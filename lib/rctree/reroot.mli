@@ -1,0 +1,34 @@
+(** Re-rooting routing trees at another terminal.
+
+    Multi-source nets (bidirectional busses; Lillis [17]) have several
+    terminals that may drive the shared tree, one at a time. Analyzing
+    "terminal p drives" means reversing the parent pointers along the
+    path from the root to [p]: every wire keeps its parasitics (wires
+    are symmetric), [p] becomes the source, and the old driver's pin
+    becomes a sink.
+
+    Node ids are preserved — a wire between nodes [u] and [v] exists in
+    every mode, merely owned by whichever endpoint is the child there —
+    so buffer positions can be translated across modes (see
+    [Bufins.Multisource]). When the old root keeps children after the
+    reversal, its driver pin is re-attached as a zero-length-wire sink
+    with a fresh id ([Tree.node_count] of the input tree). *)
+
+val at :
+  Tree.t ->
+  port:int ->
+  r_drv:float ->
+  d_drv:float ->
+  old_source:Tree.sink ->
+  Tree.t
+(** [at t ~port ...] re-roots at sink [port] (must be a [Sink] leaf),
+    giving it the supplied driver; the old source pin gets the
+    [old_source] electrical spec. Raises [Invalid_argument] if [port] is
+    not a sink or the tree already contains buffers placed with
+    direction-dependent meaning is fine — [Buffered] nodes are treated
+    as bidirectional repeaters and keep their cells. *)
+
+val wire_owner : Tree.t -> int -> int -> int option
+(** [wire_owner t u v]: the child endpoint of the (u,v) wire in [t], if
+    the two nodes are adjacent. Used to translate wire positions between
+    modes. *)

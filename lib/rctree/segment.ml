@@ -1,0 +1,44 @@
+let pieces_for len ~max_len =
+  if len <= 0.0 then 1 else max 1 (int_of_float (Float.ceil (len /. max_len -. 1e-9)))
+
+let refine_by t max_len_of =
+  let b = Builder.create () in
+  let rec emit old_id new_parent =
+    let n = Tree.node t old_id in
+    let new_id =
+      match n.Tree.kind with
+      | Tree.Source d -> Builder.add_source b ~r_drv:d.Tree.r_drv ~d_drv:d.Tree.d_drv
+      | Tree.Sink s ->
+          let wire = chain old_id (Tree.wire_to t old_id) new_parent in
+          Builder.add_sink b ~parent:(fst wire) ~wire:(snd wire) ~name:s.Tree.sname
+            ~c_sink:s.Tree.c_sink ~rat:s.Tree.rat ~nm:s.Tree.nm
+      | Tree.Internal ->
+          let wire = chain old_id (Tree.wire_to t old_id) new_parent in
+          Builder.add_internal b ~parent:(fst wire) ~wire:(snd wire) ~feasible:n.Tree.feasible ()
+      | Tree.Buffered buf ->
+          let wire = chain old_id (Tree.wire_to t old_id) new_parent in
+          Builder.add_buffered b ~parent:(fst wire) ~wire:(snd wire) buf
+    in
+    List.iter (fun c -> emit c new_id) (Tree.children t old_id)
+  and chain old_id w parent =
+    (* Split [w] into pieces; intermediate nodes are fresh feasible
+       internals. Returns the parent and wire for the final piece. *)
+    let max_len = max_len_of old_id w in
+    if max_len <= 0.0 then invalid_arg "Segment.refine_by: non-positive max length";
+    let k = pieces_for w.Tree.length ~max_len in
+    if k = 1 then (parent, w)
+    else begin
+      let piece = Tree.scale_wire w (1.0 /. float_of_int k) in
+      let p = ref parent in
+      for _ = 1 to k - 1 do
+        p := Builder.add_internal b ~parent:!p ~wire:piece ()
+      done;
+      (!p, piece)
+    end
+  in
+  emit (Tree.root t) (-1);
+  Builder.finish b
+
+let refine t ~max_len =
+  if max_len <= 0.0 then invalid_arg "Segment.refine: non-positive max_len";
+  refine_by t (fun _ _ -> max_len)

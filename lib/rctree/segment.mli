@@ -1,0 +1,23 @@
+(** Wire-segmenting preprocessing (Alpert–Devgan [1]).
+
+    Van Ginneken-style algorithms consider at most one buffer per wire, so
+    long wires must be subdivided to expose enough candidate positions.
+    [refine] splits every wire longer than [max_len] into equal pieces
+    joined by feasible internal nodes; parasitics and coupled current are
+    distributed proportionally. Solution quality improves monotonically as
+    [max_len] shrinks, at the cost of run time — the trade-off Ablation A
+    measures. *)
+
+val refine : Tree.t -> max_len:float -> Tree.t
+(** Requires [max_len > 0.]. Node ids are not preserved; sinks keep their
+    names. *)
+
+val refine_by : Tree.t -> (int -> Tree.wire -> float) -> Tree.t
+(** Per-wire segmenting: the function maps each non-root node (and its
+    parent wire) to the maximum piece length for that wire — the hook for
+    the formulation-specific segmenting the paper's footnote 3 calls for
+    (see [Bufins.Segmenting.noise_driven]). Must return positive
+    lengths. *)
+
+val pieces_for : float -> max_len:float -> int
+(** Number of equal pieces a wire of the given length is split into. *)

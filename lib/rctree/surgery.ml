@@ -1,0 +1,100 @@
+type placement = { node : int; dist : float; buffer : Tech.Buffer.t }
+
+type provenance = Same of int | Piece_of of int
+
+let count = List.length
+
+let apply_traced t placements =
+  let n = Tree.node_count t in
+  (* group placements by the node whose parent wire they live on *)
+  let by_node = Array.make n [] in
+  List.iter
+    (fun p ->
+      if p.node < 0 || p.node >= n then invalid_arg "Surgery.apply: node out of range";
+      if p.node = Tree.root t then invalid_arg "Surgery.apply: cannot buffer the source";
+      let w = Tree.wire_to t p.node in
+      if p.dist < 0.0 || p.dist > w.Tree.length +. 1e-15 then
+        invalid_arg "Surgery.apply: distance outside parent wire";
+      by_node.(p.node) <- p :: by_node.(p.node))
+    placements;
+  Array.iteri
+    (fun v ps ->
+      let sorted = List.sort (fun a b -> compare a.dist b.dist) ps in
+      let rec distinct = function
+        | a :: (b :: _ as rest) ->
+            if a.dist = b.dist then invalid_arg "Surgery.apply: duplicate placement position"
+            else distinct rest
+        | [] | [ _ ] -> ()
+      in
+      distinct sorted;
+      by_node.(v) <- sorted)
+    by_node;
+  let b = Builder.create () in
+  let prov = ref [] in
+  let note id p = prov := (id, p) :: !prov in
+  let rec emit old_id new_parent =
+    let nd = Tree.node t old_id in
+    let new_id =
+      match nd.Tree.kind with
+      | Tree.Source d -> Builder.add_source b ~r_drv:d.Tree.r_drv ~d_drv:d.Tree.d_drv
+      | Tree.Sink s ->
+          let parent, wire, node_buf = descend old_id new_parent in
+          assert (node_buf = None);
+          Builder.add_sink b ~parent ~wire ~name:s.Tree.sname ~c_sink:s.Tree.c_sink ~rat:s.Tree.rat
+            ~nm:s.Tree.nm
+      | Tree.Internal -> begin
+          let parent, wire, node_buf = descend old_id new_parent in
+          match node_buf with
+          | Some buf -> Builder.add_buffered b ~parent ~wire buf
+          | None -> Builder.add_internal b ~parent ~wire ~feasible:nd.Tree.feasible ()
+        end
+      | Tree.Buffered buf ->
+          let parent, wire, node_buf = descend old_id new_parent in
+          assert (node_buf = None);
+          Builder.add_buffered b ~parent ~wire buf
+    in
+    note new_id (Same old_id);
+    List.iter (fun c -> emit c new_id) (Tree.children t old_id)
+  and descend old_id new_parent =
+    (* Walk the parent wire of [old_id] top-down, materializing the wire
+       placements (sorted by distance from [old_id], i.e. bottom-up) as
+       Buffered nodes. Returns the parent and wire piece for [old_id]
+       itself, plus the buffer to install at the node when dist = 0. *)
+    let w = Tree.wire_to t old_id in
+    let ps = by_node.(old_id) in
+    (* dist = 0 converts an internal node in place; on a sink or an
+       existing buffer it becomes a fresh node over a zero-length wire *)
+    let convertible = match Tree.kind t old_id with Tree.Internal -> true | _ -> false in
+    let node_buf =
+      match ps with
+      | { dist = 0.0; buffer; _ } :: _ when convertible -> Some buffer
+      | _ -> None
+    in
+    let wire_ps =
+      List.filter (fun p -> p.dist > 0.0 || (p.dist = 0.0 && not convertible)) ps
+    in
+    (* top-down order: farthest from [old_id] first *)
+    let top_down = List.rev wire_ps in
+    let len = w.Tree.length in
+    let frac lo hi =
+      if len <= 0.0 then Tree.zero_wire else Tree.scale_wire w ((hi -. lo) /. len)
+    in
+    let parent = ref new_parent in
+    let upper = ref len in
+    List.iter
+      (fun p ->
+        let d = Float.min p.dist len in
+        let piece = frac d !upper in
+        parent := Builder.add_buffered b ~parent:!parent ~wire:piece p.buffer;
+        note !parent (Piece_of old_id);
+        upper := d)
+      top_down;
+    (!parent, frac 0.0 !upper, node_buf)
+  in
+  emit (Tree.root t) (-1);
+  let tree = Builder.finish b in
+  let provenance = Array.make (Tree.node_count tree) (Same (Tree.root t)) in
+  List.iter (fun (id, p) -> provenance.(id) <- p) !prov;
+  (tree, provenance)
+
+let apply t placements = fst (apply_traced t placements)

@@ -1,0 +1,36 @@
+(** Applying buffer-insertion solutions to a tree.
+
+    A placement puts a buffer on the parent wire of node [node], [dist]
+    metres above [node] (towards the parent):
+    - [dist = 0.] on an internal node buffers the node itself (how the
+      DP algorithms place); on a sink or an existing buffer it creates a
+      new [Buffered] node joined by a zero-length wire (how re-rooted
+      multi-source placements land at a terminal);
+    - [0. < dist <= length] splits the wire, creating a new [Buffered]
+      node (Algorithms 1 and 2 compute such maximal offsets via
+      Theorem 1); [dist = length] places the buffer immediately below the
+      parent node.
+
+    [apply] performs all placements at once and returns a fresh tree; node
+    ids are not preserved, but sinks keep their names and the relative
+    order of same-wire placements follows their distances. *)
+
+type placement = { node : int; dist : float; buffer : Tech.Buffer.t }
+
+val apply : Tree.t -> placement list -> Tree.t
+(** Raises [Invalid_argument] on out-of-range nodes or distances, a
+    placement at the root, or two placements at the same position. *)
+
+type provenance =
+  | Same of int  (** this node is the old node with that id *)
+  | Piece_of of int  (** a new Buffered node created on the parent wire of
+                         the old node with that id; its parent wire is a
+                         fraction of that old wire *)
+
+val apply_traced : Tree.t -> placement list -> Tree.t * provenance array
+(** Like {!apply}, also reporting where each new node came from — what
+    per-wire annotations (e.g. coupling densities, [Coupling]) need to
+    follow a solution through surgery. *)
+
+val count : placement list -> int
+(** Number of buffers in a solution ([|M|] in the paper). *)

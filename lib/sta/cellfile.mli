@@ -1,0 +1,22 @@
+(** Plain-text cell libraries (a liberty-lite for the linear gate model).
+
+    One cell per line; blank lines and [#] comments ignored:
+
+    {v
+    cell <name> <inputs> <c_in_fF> <r_out_ohm> <d_intr_ps> <nm_V>
+    v}
+
+    Lets a design file reference a characterized library instead of the
+    built-in {!Cell.library} (CLI: [buffopt flow --cells FILE]). *)
+
+exception Parse of string
+(** Carries ["file:line: message"]. *)
+
+val read : string -> Cell.t list
+(** Parse a cell library; raises {!Parse} on malformed lines, duplicate
+    names, or an empty library. *)
+
+val to_string : Cell.t list -> string
+(** Render a library back to the format; round-trips through {!read}. *)
+
+val write : string -> Cell.t list -> unit

@@ -1,0 +1,99 @@
+module P = Geometry.Point
+
+type config = { gates : int; pis : int; die : int; period : float; seed : int }
+
+let default_config = { gates = 120; pis = 12; die = 8_000_000; period = 6e-9; seed = 7 }
+
+let random cfg =
+  if cfg.gates < 1 || cfg.pis < 1 then invalid_arg "Gen.random: need gates and PIs";
+  let rng = Util.Rng.create cfg.seed in
+  let seen = Hashtbl.create 64 in
+  let rec place () =
+    let p = P.make (Util.Rng.int rng cfg.die) (Util.Rng.int rng cfg.die) in
+    if Hashtbl.mem seen p then place ()
+    else begin
+      Hashtbl.replace seen p ();
+      p
+    end
+  in
+  let pis =
+    Array.init cfg.pis (fun p ->
+        {
+          Design.pname = Printf.sprintf "pi%d" p;
+          pat = place ();
+          arrival = Util.Rng.range rng 0.0 100e-12;
+          r_pad = Util.Rng.range rng 40.0 150.0;
+          d_pad = Util.Rng.range rng 20e-12 50e-12;
+        })
+  in
+  let cells = Array.of_list Cell.library in
+  let instances =
+    Array.init cfg.gates (fun i ->
+        {
+          Design.iname = Printf.sprintf "g%d" i;
+          cell = Util.Rng.choice rng cells;
+          at = place ();
+        })
+  in
+  (* wire inputs: gate i draws from distinct sources among PIs and
+     earlier gates, with a bias towards recent gates for path depth *)
+  let fanout = Hashtbl.create 64 in
+  let add_sink src s =
+    Hashtbl.replace fanout src (s :: Option.value ~default:[] (Hashtbl.find_opt fanout src))
+  in
+  Array.iteri
+    (fun i inst ->
+      let chosen = Hashtbl.create 4 in
+      for k = 0 to inst.Design.cell.Cell.n_inputs - 1 do
+        let rec pick () =
+          let src =
+            if i > 0 && Util.Rng.float rng 1.0 < 0.75 then begin
+              (* an earlier gate, biased to the recent half *)
+              let lo = if i > 8 && Util.Rng.bool rng then i / 2 else 0 in
+              Design.From_inst (lo + Util.Rng.int rng (i - lo))
+            end
+            else Design.From_pi (Util.Rng.int rng cfg.pis)
+          in
+          if Hashtbl.mem chosen src then pick () else src
+        in
+        let src = pick () in
+        Hashtbl.replace chosen src ();
+        add_sink src (Design.To_inst (i, k))
+      done)
+    instances;
+  (* every driver must drive something: childless outputs feed POs *)
+  let pos = ref [] in
+  let n_pos = ref 0 in
+  let ensure_fanout src =
+    if not (Hashtbl.mem fanout src) then begin
+      let p = !n_pos in
+      incr n_pos;
+      pos :=
+        {
+          Design.oname = Printf.sprintf "po%d" p;
+          oat = place ();
+          required = cfg.period;
+          c_pad = Util.Rng.range rng 20e-15 60e-15;
+          po_nm = 0.8;
+        }
+        :: !pos;
+      add_sink src (Design.To_po p)
+    end
+  in
+  Array.iteri (fun i _ -> ensure_fanout (Design.From_inst i)) instances;
+  Array.iteri (fun p _ -> ensure_fanout (Design.From_pi p)) pis;
+  let pos = Array.of_list (List.rev !pos) in
+  let nets =
+    Hashtbl.fold
+      (fun src sinks acc -> (src, Array.of_list (List.rev sinks)) :: acc)
+      fanout []
+    |> List.sort compare
+    |> List.mapi (fun nid (source, sinks) ->
+           { Design.nname = Printf.sprintf "n%d" nid; source; sinks })
+    |> Array.of_list
+  in
+  let design = { Design.instances; nets; pis; pos } in
+  (match Design.validate design with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Gen.random: generated invalid design: " ^ e));
+  design

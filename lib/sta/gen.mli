@@ -1,0 +1,22 @@
+(** Random combinational designs for the full-design experiments.
+
+    Instances are placed at distinct points on a square die and wired
+    into a DAG: each gate's inputs come from distinct earlier sources
+    (primary inputs or earlier gates); outputs nobody consumes drive
+    primary outputs required at the clock period. With millimetre-scale
+    dies the inter-gate nets are long enough to exhibit the paper's
+    noise and delay problems. *)
+
+type config = {
+  gates : int;
+  pis : int;
+  die : int;  (** die edge, nm *)
+  period : float;  (** required time at every PO, s *)
+  seed : int;
+}
+
+val default_config : config
+(** 120 gates, 12 PIs, 8 mm die, 6 ns period, seed 7. *)
+
+val random : config -> Design.t
+(** Always validates ([Design.validate] is re-checked, an assertion). *)

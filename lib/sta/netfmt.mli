@@ -1,0 +1,30 @@
+(** Plain-text design files.
+
+    Line oriented; blank lines and [#] comments are ignored:
+
+    {v
+    pi   <name> <x_um> <y_um> <arrival_ps> <r_pad_ohm> <d_pad_ps>
+    po   <name> <x_um> <y_um> <required_ps> <c_pad_fF> <nm_V>
+    inst <name> <cell> <x_um> <y_um>
+    net  <name> <source> <sink> <sink> ...
+    v}
+
+    where a [<source>] is [pi:<name>] or an instance name, and a [<sink>]
+    is [po:<name>] or [<inst>:<input-index>]. Cells come from
+    {!Cell.library}. Declarations may appear in any order; nets must
+    follow the pins and instances they reference. *)
+
+exception Parse of string
+(** Carries ["file:line: message"]. *)
+
+val read : ?cells:Cell.t list -> string -> Design.t
+(** Parse and validate a design file; raises {!Parse} on syntax errors
+    and on designs rejected by {!Design.validate}. [cells] (default
+    {!Cell.library}, e.g. from {!Cellfile.read}) resolves instance cell
+    names. *)
+
+val write : string -> Design.t -> unit
+(** Render a design back to a file; [read] of the result reproduces an
+    equivalent design (round-trip tested). *)
+
+val to_string : Design.t -> string

@@ -1,0 +1,33 @@
+let prim pts =
+  let n = Array.length pts in
+  if n = 0 then invalid_arg "Mst.prim: no points";
+  let in_tree = Array.make n false in
+  let best_dist = Array.make n max_int in
+  let best_from = Array.make n 0 in
+  in_tree.(0) <- true;
+  for j = 1 to n - 1 do
+    best_dist.(j) <- Geometry.Point.manhattan pts.(0) pts.(j)
+  done;
+  let edges = Array.make (max 0 (n - 1)) (0, 0) in
+  for k = 0 to n - 2 do
+    let pick = ref (-1) in
+    for j = 0 to n - 1 do
+      if (not in_tree.(j)) && (!pick = -1 || best_dist.(j) < best_dist.(!pick)) then pick := j
+    done;
+    let j = !pick in
+    in_tree.(j) <- true;
+    edges.(k) <- (j, best_from.(j));
+    for m = 0 to n - 1 do
+      if not in_tree.(m) then begin
+        let d = Geometry.Point.manhattan pts.(j) pts.(m) in
+        if d < best_dist.(m) then begin
+          best_dist.(m) <- d;
+          best_from.(m) <- j
+        end
+      end
+    done
+  done;
+  edges
+
+let length pts edges =
+  Array.fold_left (fun acc (a, b) -> acc + Geometry.Point.manhattan pts.(a) pts.(b)) 0 edges

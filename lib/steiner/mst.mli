@@ -1,0 +1,13 @@
+(** Prim's rectilinear minimum spanning tree.
+
+    Used both as a baseline for Steiner-length tests and to order pin
+    insertion in {!Build}: inserting pins in Prim order guarantees the
+    incremental Steiner tree is no longer than the MST. *)
+
+val prim : Geometry.Point.t array -> (int * int) array
+(** [prim pts] with [pts.(0)] as the root returns, in insertion order,
+    edges [(child, parent)] over indices; [Array.length] is
+    [length pts - 1]. O(n^2). *)
+
+val length : Geometry.Point.t array -> (int * int) array -> int
+(** Total Manhattan length of an edge set. *)

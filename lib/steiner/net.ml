@@ -1,0 +1,28 @@
+type pin = { pname : string; at : Geometry.Point.t; c_sink : float; rat : float; nm : float }
+
+type t = {
+  nname : string;
+  source : Geometry.Point.t;
+  r_drv : float;
+  d_drv : float;
+  pins : pin list;
+}
+
+let make ~name ~source ~r_drv ~d_drv ~pins =
+  if pins = [] then invalid_arg "Net.make: no pins";
+  let pts = source :: List.map (fun p -> p.at) pins in
+  let sorted = List.sort Geometry.Point.compare pts in
+  let rec dup = function
+    | a :: (b :: _ as rest) -> Geometry.Point.equal a b || dup rest
+    | [] | [ _ ] -> false
+  in
+  if dup sorted then invalid_arg "Net.make: coincident pin locations";
+  { nname = name; source; r_drv; d_drv; pins }
+
+let degree t = List.length t.pins
+
+let all_points_list t = t.source :: List.map (fun p -> p.at) t.pins
+
+let hpwl t = Geometry.Bbox.half_perimeter (Geometry.Bbox.of_points (all_points_list t))
+
+let all_points t = Array.of_list (all_points_list t)

@@ -1,0 +1,39 @@
+(** Placed nets: a driver location plus sink pins with electrical specs.
+
+    Coordinates are integers in nanometres ({!Geometry.Point}); electrical
+    values are SI. This is the interface between placement/workload data
+    and topology construction. *)
+
+type pin = {
+  pname : string;
+  at : Geometry.Point.t;
+  c_sink : float;  (** F *)
+  rat : float;  (** s *)
+  nm : float;  (** V *)
+}
+
+type t = {
+  nname : string;
+  source : Geometry.Point.t;
+  r_drv : float;  (** ohm *)
+  d_drv : float;  (** s *)
+  pins : pin list;
+}
+
+val make :
+  name:string ->
+  source:Geometry.Point.t ->
+  r_drv:float ->
+  d_drv:float ->
+  pins:pin list ->
+  t
+(** Requires at least one pin and pairwise-distinct pin/source locations. *)
+
+val degree : t -> int
+(** Number of sinks. *)
+
+val hpwl : t -> int
+(** Half-perimeter wirelength bound, nm. *)
+
+val all_points : t -> Geometry.Point.t array
+(** Source first, then pins in order. *)

@@ -1,0 +1,78 @@
+module P = Geometry.Point
+
+exception Parse of string
+
+let um_to_nm x = int_of_float (Float.round (x *. 1000.0))
+
+let read path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let name = ref "net" in
+      let source = ref None in
+      let pins = ref [] in
+      let lineno = ref 0 in
+      let fail fmt =
+        Printf.ksprintf (fun m -> raise (Parse (Printf.sprintf "%s:%d: %s" path !lineno m))) fmt
+      in
+      let num s = match float_of_string_opt s with Some x -> x | None -> fail "bad number %s" s in
+      (try
+         while true do
+           let line = input_line ic in
+           incr lineno;
+           let words =
+             String.split_on_char ' ' (String.trim line) |> List.filter (fun s -> s <> "")
+           in
+           match words with
+           | [] -> ()
+           | w :: _ when String.length w > 0 && w.[0] = '#' -> ()
+           | [ "net"; n ] -> name := n
+           | [ "source"; x; y; r; d ] ->
+               source := Some (P.make (um_to_nm (num x)) (um_to_nm (num y)), num r, num d *. 1e-12)
+           | [ "sink"; n; x; y; c; rat; nm ] ->
+               pins :=
+                 {
+                   Net.pname = n;
+                   at = P.make (um_to_nm (num x)) (um_to_nm (num y));
+                   c_sink = num c *. 1e-15;
+                   rat = num rat *. 1e-12;
+                   nm = num nm;
+                 }
+                 :: !pins
+           | w :: _ -> fail "unknown directive %s" w
+         done
+       with End_of_file -> ());
+      match !source with
+      | None -> raise (Parse (path ^ ": no source line"))
+      | Some (at, r_drv, d_drv) -> (
+          match Net.make ~name:!name ~source:at ~r_drv ~d_drv ~pins:(List.rev !pins) with
+          | net -> net
+          | exception Invalid_argument m -> raise (Parse (path ^ ": " ^ m))))
+
+let to_string (net : Net.t) =
+  let buf = Buffer.create 256 in
+  let um p = (float_of_int p.P.x /. 1000.0, float_of_int p.P.y /. 1000.0) in
+  Buffer.add_string buf (Printf.sprintf "net %s\n" net.Net.nname);
+  let sx, sy = um net.Net.source in
+  Buffer.add_string buf
+    (Printf.sprintf "source %.3f %.3f %.4f %.6f\n" sx sy net.Net.r_drv (net.Net.d_drv *. 1e12));
+  List.iter
+    (fun (p : Net.pin) ->
+      let x, y = um p.Net.at in
+      Buffer.add_string buf
+        (Printf.sprintf "sink %s %.3f %.3f %.6f %.6f %.4f\n" p.Net.pname x y (p.Net.c_sink *. 1e15)
+           (p.Net.rat *. 1e12) p.Net.nm))
+    net.Net.pins;
+  Buffer.contents buf
+
+let write path net =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string net))
+
+let sample =
+  "net sample\n\
+   source 0 0 120 30\n\
+   sink a 8000 2000 20 1200 0.8\n\
+   sink b 6500 4500 35 1500 0.8\n\
+   sink c 9000 500 10 1300 0.8\n"

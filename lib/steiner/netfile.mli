@@ -1,0 +1,25 @@
+(** Plain-text placed-net files (the CLI's input format).
+
+    Line oriented; blank lines and [#] comments are ignored:
+
+    {v
+    net    <name>
+    source <x_um> <y_um> <r_drv_ohm> <d_pad_ps>
+    sink   <name> <x_um> <y_um> <cap_fF> <rat_ps> <nm_V>
+    v} *)
+
+exception Parse of string
+(** Carries ["file:line: message"]. *)
+
+val read : string -> Net.t
+(** Parse a net file; raises {!Parse} on malformed input (including the
+    structural checks of {!Net.make}). *)
+
+val to_string : Net.t -> string
+(** Render a net back to the file format; [read] of the result is
+    equivalent (round-trip tested). *)
+
+val write : string -> Net.t -> unit
+
+val sample : string
+(** A small three-sink example, used by [buffopt sample]. *)

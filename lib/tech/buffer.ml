@@ -1,0 +1,21 @@
+type t = {
+  name : string;
+  inverting : bool;
+  c_in : float;
+  r_b : float;
+  d_b : float;
+  nm : float;
+}
+
+let make ~name ~inverting ~c_in ~r_b ~d_b ~nm =
+  assert (c_in >= 0.0 && r_b > 0.0 && d_b >= 0.0 && nm > 0.0);
+  { name; inverting; c_in; r_b; d_b; nm }
+
+let equal a b = a.name = b.name
+
+let gate_delay t ~load = t.d_b +. (t.r_b *. load)
+
+let pp ppf t =
+  Format.fprintf ppf "%s%s(r=%.0f c=%.1ff d=%.0fp)" t.name
+    (if t.inverting then "~" else "")
+    t.r_b (t.c_in *. 1e15) (t.d_b *. 1e12)

@@ -1,0 +1,26 @@
+(** Buffer (repeater) cell model.
+
+    The paper uses the linear gate model of eq. (3): a buffer [b] has input
+    capacitance [c_in], intrinsic output resistance [r_b], intrinsic delay
+    [d_b], and a tolerable input noise margin [nm] (Section II). Buffers may
+    be inverting (Lillis et al. [18]); polarity is tracked by the dynamic
+    programs. All values are SI: farads, ohms, seconds, volts. *)
+
+type t = {
+  name : string;
+  inverting : bool;
+  c_in : float;  (** input pin capacitance, F *)
+  r_b : float;  (** output (driving) resistance, ohm *)
+  d_b : float;  (** intrinsic delay, s *)
+  nm : float;  (** tolerable input noise margin, V *)
+}
+
+val make :
+  name:string -> inverting:bool -> c_in:float -> r_b:float -> d_b:float -> nm:float -> t
+
+val equal : t -> t -> bool
+
+val gate_delay : t -> load:float -> float
+(** Eq. (3): [d_b + r_b *. load]. *)
+
+val pp : Format.formatter -> t -> unit

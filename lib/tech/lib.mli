@@ -1,0 +1,22 @@
+(** Buffer libraries.
+
+    The paper's experiments use a library of 11 buffers — 5 inverting and 6
+    non-inverting — of varying power levels. [default_library] provides a
+    plausible stand-in spanning roughly a 20x drive range (the IBM cell
+    library is proprietary; see DESIGN.md, substitution 3). *)
+
+val default_library : Buffer.t list
+(** 11 buffers: 6 non-inverting ([bufx1] .. [bufx32]) and 5 inverting
+    ([invx1] .. [invx16]), all with a 0.8 V input noise margin. *)
+
+val non_inverting : Buffer.t list -> Buffer.t list
+
+val inverting : Buffer.t list -> Buffer.t list
+
+val min_resistance : Buffer.t list -> Buffer.t
+(** The strongest buffer (smallest [r_b]) of a non-empty library; used by
+    Algorithms 1 and 2, whose optimal solutions only ever need it
+    (Section III-B). *)
+
+val find : Buffer.t list -> string -> Buffer.t option
+(** Look a buffer up by name. *)

@@ -1,0 +1,32 @@
+type t = {
+  r_per_m : float;
+  c_per_m : float;
+  lambda : float;
+  vdd : float;
+  t_rise : float;
+  nm_default : float;
+}
+
+let make ~r_per_m ~c_per_m ~lambda ~vdd ~t_rise ~nm_default =
+  assert (r_per_m >= 0.0 && c_per_m >= 0.0);
+  assert (lambda >= 0.0 && lambda <= 1.0);
+  assert (vdd > 0.0 && t_rise > 0.0 && nm_default > 0.0);
+  { r_per_m; c_per_m; lambda; vdd; t_rise; nm_default }
+
+let default =
+  make ~r_per_m:8e4 (* 0.08 ohm/um *) ~c_per_m:2e-10 (* 0.2 fF/um *) ~lambda:0.7 ~vdd:1.8
+    ~t_rise:0.25e-9 ~nm_default:0.8
+
+let copper = { default with r_per_m = 4.4e4 }
+
+let slope t = t.vdd /. t.t_rise
+
+let i_per_m t = t.lambda *. t.c_per_m *. slope t
+
+let of_nm n = float_of_int n *. 1e-9
+
+let wire_r t len = t.r_per_m *. len
+
+let wire_c t len = t.c_per_m *. len
+
+let wire_i t len = i_per_m t *. len

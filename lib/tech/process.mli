@@ -1,0 +1,58 @@
+(** Process / interconnect technology parameters.
+
+    The paper's experiments (Section V) run in "estimation mode": every wire
+    is assumed coupled to a single simultaneously switching aggressor with
+    slope [slope = vdd /. t_rise], and a fixed fraction [lambda] of each
+    wire's total capacitance is coupling capacitance, so the coupled current
+    of a wire of capacitance [c] is [lambda *. c *. slope] (eq. 6).
+
+    Units are SI. Geometry lengths are metres; [of_nm] converts the integer
+    nanometre grid used by {!Geometry}. *)
+
+type t = {
+  r_per_m : float;  (** wire resistance per metre, ohm/m *)
+  c_per_m : float;  (** total wire capacitance per metre, F/m *)
+  lambda : float;  (** coupling-to-total capacitance ratio, 0..1 *)
+  vdd : float;  (** supply voltage, V *)
+  t_rise : float;  (** aggressor rise time at its driver output, s *)
+  nm_default : float;  (** default sink noise margin, V *)
+}
+
+val make :
+  r_per_m:float ->
+  c_per_m:float ->
+  lambda:float ->
+  vdd:float ->
+  t_rise:float ->
+  nm_default:float ->
+  t
+
+val default : t
+(** The paper's setup: 0.25 um-era global wire (0.08 ohm/um, 0.2 fF/um),
+    [lambda = 0.7], [vdd = 1.8] V, [t_rise = 0.25] ns (slope 7.2 V/ns),
+    noise margin 0.8 V. Aluminum wiring; see {!copper}. *)
+
+val copper : t
+(** [default] rewired in copper: ~55% of the aluminum sheet resistance
+    (0.044 ohm/um), everything else unchanged. The paper's introduction
+    notes copper "can only provide temporary relief" — the metal-corner
+    experiment quantifies how much. *)
+
+val slope : t -> float
+(** Aggressor signal slope [vdd /. t_rise], V/s (the paper's sigma). *)
+
+val i_per_m : t -> float
+(** Coupled current per metre of victim wire in estimation mode:
+    [lambda *. c_per_m *. slope], A/m. *)
+
+val of_nm : int -> float
+(** Grid length (nm) to metres. *)
+
+val wire_r : t -> float -> float
+(** Resistance of a wire of the given length (m). *)
+
+val wire_c : t -> float -> float
+(** Total capacitance of a wire of the given length (m). *)
+
+val wire_i : t -> float -> float
+(** Estimation-mode coupled current of a wire of the given length (m). *)

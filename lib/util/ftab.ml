@@ -1,0 +1,42 @@
+type t = { title : string; headers : string list; mutable rows : string list list }
+
+let create ~title ~headers = { title; headers; rows = [] }
+
+let add_row t row =
+  assert (List.length row = List.length t.headers);
+  t.rows <- row :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let ncol = List.length t.headers in
+  let widths = Array.make ncol 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    all;
+  let pad i cell = cell ^ String.make (widths.(i) - String.length cell) ' ' in
+  let line row = "| " ^ String.concat " | " (List.mapi pad row) ^ " |" in
+  let sep =
+    "+" ^ String.concat "+" (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths)) ^ "+"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (line t.headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.add_string buf sep;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()

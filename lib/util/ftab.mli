@@ -1,0 +1,16 @@
+(** ASCII table rendering for the experiment harness.
+
+    Reproduces the paper's tables as aligned monospace text on stdout. *)
+
+type t
+
+val create : title:string -> headers:string list -> t
+
+val add_row : t -> string list -> unit
+(** Rows must have the same arity as the headers. *)
+
+val render : t -> string
+(** Render with a title line, a header row, and column-aligned cells. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a blank line. *)

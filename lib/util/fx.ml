@@ -1,0 +1,23 @@
+let approx ?(rel = 1e-9) ?(abs = 1e-12) a b =
+  let diff = Float.abs (a -. b) in
+  diff <= abs || diff <= rel *. Float.max (Float.abs a) (Float.abs b)
+
+let clamp ~lo ~hi x =
+  assert (lo <= hi);
+  Float.min hi (Float.max lo x)
+
+let prefixes = [ (1e-15, "f"); (1e-12, "p"); (1e-9, "n"); (1e-6, "u"); (1e-3, "m"); (1.0, ""); (1e3, "k"); (1e6, "M"); (1e9, "G") ]
+
+let si x =
+  if x = 0.0 then "0"
+  else if Float.is_nan x then "nan"
+  else
+    let mag = Float.abs x in
+    let scale, p =
+      List.fold_left
+        (fun (bs, bp) (s, p) -> if mag >= s *. 0.9999 then (s, p) else (bs, bp))
+        (1e-15, "f") prefixes
+    in
+    Printf.sprintf "%.3f%s" (x /. scale) p
+
+let pct base x = if base = 0.0 then 0.0 else (x -. base) /. base *. 100.0

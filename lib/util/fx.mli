@@ -1,0 +1,17 @@
+(** Floating-point helpers shared across the project. *)
+
+val approx : ?rel:float -> ?abs:float -> float -> float -> bool
+(** [approx a b] holds when [a] and [b] agree within a relative tolerance
+    [rel] (default [1e-9]) or an absolute tolerance [abs] (default
+    [1e-12]). *)
+
+val clamp : lo:float -> hi:float -> float -> float
+(** Clamp a value into a closed interval. Requires [lo <= hi]. *)
+
+val si : float -> string
+(** Engineering-notation rendering with an SI prefix, e.g.
+    [si 3.2e-12 = "3.200p"]. Used by reports. *)
+
+val pct : float -> float -> float
+(** [pct base x] is the percent change from [base] to [x];
+    [0.] when [base = 0.]. *)

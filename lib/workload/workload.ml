@@ -1,0 +1,128 @@
+module P = Geometry.Point
+
+type bucket = { label : string; min_sinks : int; max_sinks : int; share : float }
+
+let default_mix =
+  [
+    { label = "1"; min_sinks = 1; max_sinks = 1; share = 0.50 };
+    { label = "2"; min_sinks = 2; max_sinks = 2; share = 0.20 };
+    { label = "3-5"; min_sinks = 3; max_sinks = 5; share = 0.18 };
+    { label = "6-10"; min_sinks = 6; max_sinks = 10; share = 0.09 };
+    { label = "11-20"; min_sinks = 11; max_sinks = 20; share = 0.03 };
+  ]
+
+type config = {
+  nets : int;
+  seed : int;
+  mix : bucket list;
+  hp_min : int;
+  hp_max : int;
+  rat_margin : float * float;
+}
+
+let default_config =
+  {
+    nets = 500;
+    seed = 1998;
+    mix = default_mix;
+    hp_min = 2_000_000;
+    hp_max = 16_000_000;
+    rat_margin = (1.05, 1.30);
+  }
+
+let pick_bucket rng mix =
+  let x = Util.Rng.float rng 1.0 in
+  let rec go acc = function
+    | [ last ] -> last
+    | b :: rest -> if x < acc +. b.share then b else go (acc +. b.share) rest
+    | [] -> invalid_arg "Workload: empty mix"
+  in
+  go 0.0 mix
+
+(* A rough buffered-delay estimate used only to set required arrival
+   times: well-buffered global wire runs near-linearly in distance
+   (~55 ps/mm in the default technology) plus a driver/gate constant. *)
+let rat_estimate dist_nm = (55e-12 *. (float_of_int dist_nm /. 1e6)) +. 150e-12
+
+let gen_net rng cfg idx =
+  let b = pick_bucket rng cfg.mix in
+  let sinks = b.min_sinks + Util.Rng.int rng (b.max_sinks - b.min_sinks + 1) in
+  let hp = cfg.hp_min + Util.Rng.int rng (max 1 (cfg.hp_max - cfg.hp_min)) in
+  (* split the half-perimeter into width and height, not too skewed *)
+  let w = int_of_float (float_of_int hp *. Util.Rng.range rng 0.25 0.75) in
+  let h = hp - w in
+  let seen = Hashtbl.create 16 in
+  let rec fresh_point () =
+    let p = P.make (Util.Rng.int rng (max 1 w)) (Util.Rng.int rng (max 1 h)) in
+    if Hashtbl.mem seen p then fresh_point ()
+    else begin
+      Hashtbl.replace seen p ();
+      p
+    end
+  in
+  let source = fresh_point () in
+  (* the paper picks the largest-capacitance (longest) nets: keep every
+     sink at a global distance from its driver *)
+  let rec far_point () =
+    let p = fresh_point () in
+    if P.manhattan source p * 3 >= hp then p else far_point ()
+  in
+  let lo, hi = cfg.rat_margin in
+  let pins =
+    List.init sinks (fun k ->
+        let at = far_point () in
+        let dist = P.manhattan source at in
+        {
+          Steiner.Net.pname = Printf.sprintf "s%d" k;
+          at;
+          c_sink = Util.Rng.range rng 5e-15 50e-15;
+          rat = rat_estimate dist *. Util.Rng.range rng lo hi;
+          (* static gates tolerate 0.8 V; a fraction of sinks are noise-
+             sensitive dynamic-logic inputs (the paper's motivation) *)
+          nm =
+            (let x = Util.Rng.float rng 1.0 in
+             if x < 0.70 then 0.8 else if x < 0.85 then 0.65 else 0.5);
+        })
+  in
+  Steiner.Net.make ~name:(Printf.sprintf "net%03d" idx) ~source
+    ~r_drv:(Util.Rng.range rng 30.0 250.0)
+    ~d_drv:(Util.Rng.range rng 20e-12 60e-12)
+    ~pins
+
+let generate cfg =
+  let rng = Util.Rng.create cfg.seed in
+  List.init cfg.nets (fun idx -> gen_net rng cfg idx)
+
+let sink_histogram ~buckets nets =
+  List.map
+    (fun b ->
+      let n =
+        List.length
+          (List.filter
+             (fun net ->
+               let d = Steiner.Net.degree net in
+               d >= b.min_sinks && d <= b.max_sinks)
+             nets)
+      in
+      (b.label, n))
+    buckets
+
+let trees process nets =
+  List.map (fun net -> (net, Steiner.Build.tree_of_net process net)) nets
+
+let parallel_bus ?(bits = 16) ?(pitch = 400) ?(len = 8_000_000) ?(r_drv = 120.0) ?(nm = 0.8) () =
+  List.init bits (fun k ->
+      let y = k * pitch in
+      Steiner.Net.make
+        ~name:(Printf.sprintf "bit%d" k)
+        ~source:(P.make 0 y) ~r_drv ~d_drv:30e-12
+        ~pins:
+          [
+            {
+              Steiner.Net.pname = Printf.sprintf "bit%d_sink" k;
+              at = P.make len y;
+              c_sink = 20e-15;
+              rat = 3e-9;
+              nm;
+            };
+          ])

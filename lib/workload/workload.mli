@@ -1,0 +1,45 @@
+(** Synthetic testbench standing in for the paper's 500 nets
+    (DESIGN.md, substitution 1).
+
+    The paper selects the 500 largest-total-capacitance nets of a PowerPC
+    microprocessor — long global nets, mostly few-sink, spanning
+    millimetres. We reproduce that population generatively: a sink-count
+    mix (Table I's shape), bounding boxes of 2-16 mm half-perimeter,
+    plausible driver/sink electricals, and required arrival times set to
+    a small margin above a linear buffered-delay estimate so the timing
+    constraints of Problem 3 bite without being unreachable. Everything
+    is derived deterministically from the seed. *)
+
+type bucket = { label : string; min_sinks : int; max_sinks : int; share : float }
+
+val default_mix : bucket list
+(** Sink-count mix: 1 sink 50%, 2 sinks 20%, 3-5 18%, 6-10 9%,
+    11-20 3%. *)
+
+type config = {
+  nets : int;
+  seed : int;
+  mix : bucket list;
+  hp_min : int;  (** min bbox half-perimeter, nm *)
+  hp_max : int;  (** max bbox half-perimeter, nm *)
+  rat_margin : float * float;  (** RAT = estimate * uniform margin range *)
+}
+
+val default_config : config
+(** 500 nets, seed 1998, default mix, 2-16 mm half-perimeter,
+    RAT margin 1.05-1.30. *)
+
+val generate : config -> Steiner.Net.t list
+
+val sink_histogram : buckets:bucket list -> Steiner.Net.t list -> (string * int) list
+(** Nets per sink-count bucket — the data of Table I. *)
+
+val trees : Tech.Process.t -> Steiner.Net.t list -> (Steiner.Net.t * Rctree.Tree.t) list
+(** Steiner topologies for every net. *)
+
+val parallel_bus :
+  ?bits:int -> ?pitch:int -> ?len:int -> ?r_drv:float -> ?nm:float -> unit -> Steiner.Net.t list
+(** The classic coupling victim: [bits] point-to-point wires of [len] nm
+    running in parallel at [pitch] nm (defaults: 16 bits, 400 nm pitch,
+    8 mm, 120 ohm drivers, 0.8 V margins). Bit k is named [bitk]. Used
+    by the extraction experiments. *)

@@ -1,0 +1,85 @@
+open Helpers
+module T = Rctree.Tree
+
+let chain_gen =
+  QCheck2.Gen.(
+    let* seed = small_int in
+    let* len = float_range 0.5e-3 20e-3 in
+    let* r_drv = float_range 20.0 400.0 in
+    let rng = Util.Rng.create seed in
+    return (Fixtures.two_pin ~r_drv ~c_sink:(Util.Rng.range rng 2e-15 50e-15) process ~len))
+
+let tests =
+  [
+    case "short wire needs no buffer" (fun () ->
+        let t = Fixtures.two_pin ~r_drv:50.0 process ~len:0.5e-3 in
+        let r = Bufins.Alg1.run ~lib t in
+        Alcotest.(check int) "none" 0 r.Bufins.Alg1.count);
+    case "12 mm line needs exactly three buffers" (fun () ->
+        let t = Fixtures.two_pin process ~len:12e-3 in
+        let r = Bufins.Alg1.run ~lib t in
+        Alcotest.(check int) "three" 3 r.Bufins.Alg1.count);
+    qcase ~count:120 "result is always noise-clean" chain_gen (fun t ->
+        let r = Bufins.Alg1.run ~lib t in
+        Bufins.Eval.noise_clean (Bufins.Eval.apply t r.Bufins.Alg1.placements));
+    qcase ~count:80 "buffers sit at maximal positions" chain_gen (fun t ->
+        let r = Bufins.Alg1.run ~lib t in
+        (* pushing any wire-interior buffer up by 1% of the wire must break
+           a noise margin somewhere (Theorem 1 maximality) *)
+        List.for_all
+          (fun (p : Rctree.Surgery.placement) ->
+            let len = (T.wire_to t p.Rctree.Surgery.node).T.length in
+            let bump = 0.01 *. len in
+            if p.Rctree.Surgery.dist +. bump >= len then true
+            else begin
+              let moved =
+                List.map
+                  (fun (q : Rctree.Surgery.placement) ->
+                    if q == p then { q with Rctree.Surgery.dist = q.Rctree.Surgery.dist +. bump }
+                    else q)
+                  r.Bufins.Alg1.placements
+              in
+              not (Bufins.Eval.noise_clean (Bufins.Eval.apply t moved))
+            end)
+          r.Bufins.Alg1.placements);
+    qcase ~count:40 "count within brute-force optimum" chain_gen (fun t ->
+        match segment_for_brute t with
+        | None -> true
+        | Some seg -> (
+            let r = Bufins.Alg1.run ~lib t in
+            match Bufins.Brute.min_buffers_noise ~lib:[ Tech.Lib.min_resistance lib ] seg with
+            | Some (k, _) -> r.Bufins.Alg1.count <= k
+            | None -> true));
+    qcase ~count:80 "non-negative source noise slack" chain_gen (fun t ->
+        let r = Bufins.Alg1.run ~lib t in
+        r.Bufins.Alg1.ns_at_source >= 0.0);
+    case "multi-sink tree rejected" (fun () ->
+        let t = Fixtures.balanced process ~levels:1 ~trunk_len:1e-3 in
+        Alcotest.(check bool) "raises" true
+          (match Bufins.Alg1.run ~lib t with exception Invalid_argument _ -> true | _ -> false));
+    case "weak driver forces a buffer right below the source" (fun () ->
+        (* the line itself is fine for the strongest buffer, but the
+           source's resistance violates the margin (paper Step 5) *)
+        let t = Fixtures.two_pin ~r_drv:400.0 ~nm:0.5 process ~len:3.0e-3 in
+        Alcotest.(check bool) "unbuffered violates" true (not (Bufins.Eval.noise_clean (Bufins.Eval.of_tree t)));
+        let r = Bufins.Alg1.run ~lib t in
+        Alcotest.(check bool) "fixed" true
+          (Bufins.Eval.noise_clean (Bufins.Eval.apply t r.Bufins.Alg1.placements));
+        Alcotest.(check bool) "has top placement" true
+          (List.exists
+             (fun (p : Rctree.Surgery.placement) ->
+               p.Rctree.Surgery.dist >= (T.wire_to t p.Rctree.Surgery.node).T.length -. 1e-9)
+             r.Bufins.Alg1.placements));
+    qcase ~count:60 "segmenting does not change the answer" chain_gen (fun t ->
+        (* Algorithm 1 places buffers continuously, so pre-segmenting the
+           line must not change the optimal count *)
+        let seg = Rctree.Segment.refine t ~max_len:700e-6 in
+        (Bufins.Alg1.run ~lib t).Bufins.Alg1.count
+        = (Bufins.Alg1.run ~lib seg).Bufins.Alg1.count);
+    case "empty library rejected" (fun () ->
+        let t = Fixtures.two_pin process ~len:1e-3 in
+        Alcotest.(check bool) "raises" true
+          (match Bufins.Alg1.run ~lib:[] t with exception Invalid_argument _ -> true | _ -> false));
+  ]
+
+let suites = [ ("bufins.alg1", tests) ]

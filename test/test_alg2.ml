@@ -1,0 +1,77 @@
+open Helpers
+module T = Rctree.Tree
+
+let chain_gen =
+  QCheck2.Gen.(
+    let* seed = small_int in
+    let* len = float_range 0.5e-3 15e-3 in
+    ignore seed;
+    return (Fixtures.two_pin process ~len))
+
+let multi_gen =
+  QCheck2.Gen.(
+    map
+      (fun seed ->
+        let rng = Util.Rng.create seed in
+        Fixtures.random_net rng process ~max_sinks:5 ~max_len:5e-3)
+      small_int)
+
+let workload_gen =
+  QCheck2.Gen.(
+    map
+      (fun seed ->
+        let cfg = { Workload.default_config with nets = 1; seed } in
+        snd (List.hd (Workload.trees process (Workload.generate cfg))))
+      small_int)
+
+let tests =
+  [
+    qcase ~count:60 "agrees with Algorithm 1 on chains" chain_gen (fun t ->
+        (Bufins.Alg2.run ~lib t).Bufins.Alg2.count = (Bufins.Alg1.run ~lib t).Bufins.Alg1.count);
+    qcase ~count:100 "always noise-clean on random trees" multi_gen (fun t ->
+        let r = Bufins.Alg2.run ~lib t in
+        Bufins.Eval.noise_clean (Bufins.Eval.apply t r.Bufins.Alg2.placements));
+    qcase ~count:40 "always noise-clean on workload nets" workload_gen (fun t ->
+        let r = Bufins.Alg2.run ~lib t in
+        Bufins.Eval.noise_clean (Bufins.Eval.apply t r.Bufins.Alg2.placements));
+    qcase ~count:30 "count within brute-force optimum" multi_gen (fun t ->
+        match segment_for_brute t with
+        | None -> true
+        | Some seg -> (
+            let r = Bufins.Alg2.run ~lib t in
+            match Bufins.Brute.min_buffers_noise ~lib:[ Tech.Lib.min_resistance lib ] seg with
+            | Some (k, _) -> r.Bufins.Alg2.count <= k
+            | None -> true));
+    case "clean tree needs nothing" (fun () ->
+        let t = Fixtures.balanced process ~levels:2 ~trunk_len:0.4e-3 ~fanout_len:0.3e-3 in
+        Alcotest.(check int) "zero" 0 (Bufins.Alg2.run ~lib t).Bufins.Alg2.count);
+    case "forced merge buffers one branch" (fun () ->
+        (* both branches are individually fine for the buffer, but their
+           merged current violates: a buffer must land immediately below
+           the merge on one branch (paper Section III-C) *)
+        let b = Rctree.Builder.create () in
+        let so = Rctree.Builder.add_source b ~r_drv:36.0 ~d_drv:0.0 in
+        let mid = Rctree.Builder.add_internal b ~parent:so ~wire:(T.wire_of_length process 1e-6) () in
+        let branch = T.wire_of_length process 2.9e-3 in
+        ignore (Rctree.Builder.add_sink b ~parent:mid ~wire:branch ~name:"a" ~c_sink:10e-15 ~rat:1e-9 ~nm:0.5);
+        ignore (Rctree.Builder.add_sink b ~parent:mid ~wire:branch ~name:"c" ~c_sink:10e-15 ~rat:1e-9 ~nm:0.5);
+        let t = Rctree.Builder.finish b in
+        Alcotest.(check bool) "unbuffered violates" true
+          (not (Bufins.Eval.noise_clean (Bufins.Eval.of_tree t)));
+        let r = Bufins.Alg2.run ~lib t in
+        Alcotest.(check int) "one buffer suffices" 1 r.Bufins.Alg2.count;
+        let p = List.hd r.Bufins.Alg2.placements in
+        feq_rel "at branch top" ~eps:1e-9 branch.T.length p.Rctree.Surgery.dist;
+        Alcotest.(check bool) "clean" true
+          (Bufins.Eval.noise_clean (Bufins.Eval.apply t r.Bufins.Alg2.placements)));
+    qcase ~count:60 "counts candidates" multi_gen (fun t ->
+        (Bufins.Alg2.run ~lib t).Bufins.Alg2.candidates_seen >= 0);
+    case "rejects pre-buffered trees" (fun () ->
+        let t = Fixtures.two_pin process ~len:4e-3 in
+        let buf = Tech.Lib.min_resistance lib in
+        let t' = Rctree.Surgery.apply t [ { Rctree.Surgery.node = 1; dist = 2e-3; buffer = buf } ] in
+        Alcotest.(check bool) "raises" true
+          (match Bufins.Alg2.run ~lib t' with exception Invalid_argument _ -> true | _ -> false));
+  ]
+
+let suites = [ ("bufins.alg2", tests) ]

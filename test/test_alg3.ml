@@ -1,0 +1,106 @@
+open Helpers
+module T = Rctree.Tree
+
+let brute_gen =
+  QCheck2.Gen.(
+    map
+      (fun seed ->
+        let rng = Util.Rng.create seed in
+        segment_for_brute (theorem5_tree rng))
+      small_int)
+
+let workload_gen =
+  QCheck2.Gen.(
+    map
+      (fun seed ->
+        let cfg = { Workload.default_config with nets = 1; seed } in
+        snd (List.hd (Workload.trees process (Workload.generate cfg))))
+      small_int)
+
+let tests =
+  [
+    qcase ~count:40 "optimal under Theorem 5 assumptions" brute_gen (function
+      | None -> true
+      | Some seg -> (
+          (* single buffer with c_in below every sink cap and margin below
+             every sink margin: Algorithm 3 must match brute force *)
+          let r = Bufins.Alg3.run ~lib:single_lib seg in
+          match (r, Bufins.Brute.best_slack ~noise:true ~lib:single_lib seg) with
+          | Some r, Some (best, _) -> Util.Fx.approx ~rel:1e-9 ~abs:1e-15 best r.Bufins.Dp.slack
+          | None, None -> true
+          | Some _, None | None, Some _ -> false));
+    qcase ~count:60 "solutions are always noise-clean" workload_gen (fun t ->
+        let seg = Rctree.Segment.refine t ~max_len:500e-6 in
+        match Bufins.Alg3.run ~lib seg with
+        | Some r -> Bufins.Eval.noise_clean (Bufins.Eval.apply seg r.Bufins.Dp.placements)
+        | None -> false);
+    qcase ~count:60 "never beats the unconstrained optimum" workload_gen (fun t ->
+        let seg = Rctree.Segment.refine t ~max_len:500e-6 in
+        match Bufins.Alg3.run ~lib seg with
+        | Some r -> r.Bufins.Dp.slack <= (Bufins.Vangin.run ~lib seg).Bufins.Dp.slack +. 1e-15
+        | None -> true);
+    qcase ~count:40 "predicted slack equals recomputed slack" workload_gen (fun t ->
+        let seg = Rctree.Segment.refine t ~max_len:500e-6 in
+        match Bufins.Alg3.run ~lib seg with
+        | Some r ->
+            let report = Bufins.Eval.apply seg r.Bufins.Dp.placements in
+            Util.Fx.approx ~rel:1e-9 ~abs:1e-16 r.Bufins.Dp.slack report.Bufins.Eval.slack
+        | None -> true);
+    case "returns None when nothing can satisfy the margins" (fun () ->
+        (* a sink with a sub-millivolt margin on a long coupled line: no
+           discrete buffering can help at coarse segmenting *)
+        let t = Fixtures.two_pin ~nm:1e-4 process ~len:10e-3 in
+        let seg = Rctree.Segment.refine t ~max_len:5e-3 in
+        Alcotest.(check bool) "infeasible" true (Bufins.Alg3.run ~lib seg = None));
+    qcase ~count:30 "richer library never hurts" workload_gen (fun t ->
+        let seg = Rctree.Segment.refine t ~max_len:500e-6 in
+        match (Bufins.Alg3.run ~lib seg, Bufins.Alg3.run ~lib:[ Tech.Lib.min_resistance lib ] seg) with
+        | Some full, Some single -> full.Bufins.Dp.slack >= single.Bufins.Dp.slack -. 1e-15
+        | Some _, None -> true
+        | None, _ -> true);
+    qcase ~count:30 "a buffer is never attached to a noisy candidate" workload_gen (fun t ->
+        (* every gate in the produced tree satisfies its stage's margins:
+           per-stage noise at any leaf <= margin *)
+        let seg = Rctree.Segment.refine t ~max_len:500e-6 in
+        match Bufins.Alg3.run ~lib seg with
+        | Some r ->
+            let tree = Rctree.Surgery.apply seg r.Bufins.Dp.placements in
+            List.for_all (fun (_, noise, margin) -> noise <= margin +. 1e-9) (Noise.leaf_noise tree)
+        | None -> false);
+    qcase ~count:20 "count-indexed buckets are exact in noise mode" workload_gen (fun t ->
+        let seg = Rctree.Segment.refine t ~max_len:700e-6 in
+        let out = Bufins.Alg3.by_count ~kmax:8 ~lib seg in
+        let ok = ref true in
+        Array.iteri
+          (fun k r ->
+            match r with
+            | Some (r : Bufins.Dp.result) ->
+                if r.Bufins.Dp.count <> k then ok := false;
+                (* every bucketed solution is noise-clean *)
+                if
+                  not
+                    (Bufins.Eval.noise_clean (Bufins.Eval.apply seg r.Bufins.Dp.placements))
+                then ok := false
+            | None -> ())
+          out.Bufins.Dp.by_count;
+        !ok);
+    qcase ~count:20 "bucket slacks agree with re-evaluation" workload_gen (fun t ->
+        let seg = Rctree.Segment.refine t ~max_len:700e-6 in
+        let out = Bufins.Alg3.by_count ~kmax:6 ~lib seg in
+        Array.for_all
+          (function
+            | Some (r : Bufins.Dp.result) ->
+                let report = Bufins.Eval.apply seg r.Bufins.Dp.placements in
+                Util.Fx.approx ~rel:1e-9 ~abs:1e-16 r.Bufins.Dp.slack report.Bufins.Eval.slack
+            | None -> true)
+          out.Bufins.Dp.by_count);
+    case "finer segmenting can rescue infeasibility" (fun () ->
+        let t = Fixtures.two_pin process ~len:12e-3 in
+        let coarse = Rctree.Segment.refine t ~max_len:6e-3 in
+        let fine = Rctree.Segment.refine t ~max_len:1e-3 in
+        (* 6 mm spans violate 0.8 V no matter what drives them *)
+        Alcotest.(check bool) "coarse fails" true (Bufins.Alg3.run ~lib coarse = None);
+        Alcotest.(check bool) "fine succeeds" true (Bufins.Alg3.run ~lib fine <> None));
+  ]
+
+let suites = [ ("bufins.alg3", tests) ]

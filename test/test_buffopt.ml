@@ -1,0 +1,106 @@
+open Helpers
+module T = Rctree.Tree
+
+let workload_gen =
+  QCheck2.Gen.(
+    map
+      (fun seed ->
+        let cfg = { Workload.default_config with nets = 1; seed } in
+        snd (List.hd (Workload.trees process (Workload.generate cfg))))
+      small_int)
+
+let relax_rats tree rat =
+  (* rebuild with every sink's required arrival time replaced *)
+  let b = Rctree.Builder.create () in
+  let rec copy v parent =
+    let id =
+      match T.kind tree v with
+      | T.Source d -> Rctree.Builder.add_source b ~r_drv:d.T.r_drv ~d_drv:d.T.d_drv
+      | T.Sink s ->
+          Rctree.Builder.add_sink b ~parent ~wire:(T.wire_to tree v) ~name:s.T.sname
+            ~c_sink:s.T.c_sink ~rat ~nm:s.T.nm
+      | T.Internal ->
+          Rctree.Builder.add_internal b ~parent ~wire:(T.wire_to tree v) ~feasible:(T.feasible tree v) ()
+      | T.Buffered bu -> Rctree.Builder.add_buffered b ~parent ~wire:(T.wire_to tree v) bu
+    in
+    List.iter (fun c -> copy c id) (T.children tree v)
+  in
+  copy (T.root tree) (-1);
+  Rctree.Builder.finish b
+
+let tests =
+  [
+    qcase ~count:40 "problem 3 result is noise-clean and reports honestly" workload_gen (fun t ->
+        match Bufins.Buffopt.optimize Bufins.Buffopt.Buffopt ~lib t with
+        | Some r ->
+            Bufins.Eval.noise_clean r.Bufins.Buffopt.report
+            && Util.Fx.approx ~rel:1e-9 ~abs:1e-16 r.Bufins.Buffopt.predicted_slack
+                 r.Bufins.Buffopt.report.Bufins.Eval.slack
+            && r.Bufins.Buffopt.count = r.Bufins.Buffopt.report.Bufins.Eval.buffers
+        | None -> false);
+    qcase ~count:30 "problem 3 minimizes buffers among timing-feasible counts" workload_gen
+      (fun t ->
+        let seg = Rctree.Segment.refine t ~max_len:500e-6 in
+        match Bufins.Buffopt.problem3 ~kmax:10 ~lib seg with
+        | Some { Bufins.Buffopt.result; timing_met = true } ->
+            (* no smaller count in the count-indexed table meets timing *)
+            let by = Bufins.Alg3.by_count ~kmax:10 ~lib seg in
+            Array.to_list by.Bufins.Dp.by_count
+            |> List.for_all (function
+                 | Some (r : Bufins.Dp.result) ->
+                     r.Bufins.Dp.count >= result.Bufins.Dp.count || r.Bufins.Dp.slack < 0.0
+                 | None -> true)
+        | Some { timing_met = false; _ } -> true
+        | None -> true);
+    case "relaxed timing needs fewer buffers than tight timing" (fun () ->
+        let t = Fixtures.two_pin process ~len:10e-3 in
+        let loose = relax_rats t 10e-9 in
+        let run tree =
+          match Bufins.Buffopt.optimize Bufins.Buffopt.Buffopt ~lib tree with
+          | Some r -> r.Bufins.Buffopt.count
+          | None -> Alcotest.fail "infeasible"
+        in
+        let tight = relax_rats t 0.65e-9 in
+        Alcotest.(check bool) "loose <= tight" true (run loose <= run tight);
+        (* with 10 ns of slack only noise forces buffers: 3 on a 12 mm line *)
+        Alcotest.(check bool) "loose uses the noise minimum" true (run loose <= 3));
+    case "unreachable timing falls back to max slack" (fun () ->
+        let t = relax_rats (Fixtures.two_pin process ~len:10e-3) (-1.0) in
+        let seg = Rctree.Segment.refine t ~max_len:500e-6 in
+        match Bufins.Buffopt.problem3 ~kmax:10 ~lib seg with
+        | Some { Bufins.Buffopt.result; timing_met } ->
+            Alcotest.(check bool) "timing not met" false timing_met;
+            (match Bufins.Alg3.run ~lib seg with
+            | Some best ->
+                feq_rel "matches problem 2 slack" ~eps:1e-9 best.Bufins.Dp.slack
+                  result.Bufins.Dp.slack
+            | None -> Alcotest.fail "alg3 infeasible")
+        | None -> Alcotest.fail "problem3 infeasible");
+    qcase ~count:25 "delayopt(k) inserts at most k" workload_gen (fun t ->
+        List.for_all
+          (fun k ->
+            match Bufins.Buffopt.optimize (Bufins.Buffopt.Delayopt k) ~lib t with
+            | Some r -> r.Bufins.Buffopt.count <= k
+            | None -> false)
+          [ 1; 3 ]);
+    case "optimize retries with finer segmenting" (fun () ->
+        (* 6 mm spans are hopeless (see alg3 tests); starting there must
+           fall back to a finer grid and succeed *)
+        let t = Fixtures.two_pin process ~len:12e-3 in
+        match Bufins.Buffopt.optimize ~seg_len:6e-3 ~retries:3 Bufins.Buffopt.Buffopt ~lib t with
+        | Some r -> Alcotest.(check bool) "clean" true (Bufins.Eval.noise_clean r.Bufins.Buffopt.report)
+        | None -> Alcotest.fail "retries exhausted");
+    case "no retries means failure at coarse segmenting" (fun () ->
+        let t = Fixtures.two_pin process ~len:12e-3 in
+        Alcotest.(check bool) "none" true
+          (Bufins.Buffopt.optimize ~seg_len:6e-3 ~retries:0 Bufins.Buffopt.Buffopt ~lib t = None));
+    qcase ~count:25 "buffopt uses no more buffers than alg3 max-slack" workload_gen (fun t ->
+        match
+          ( Bufins.Buffopt.optimize Bufins.Buffopt.Buffopt ~lib t,
+            Bufins.Buffopt.optimize Bufins.Buffopt.Alg3_max_slack ~lib t )
+        with
+        | Some bo, Some a3 -> bo.Bufins.Buffopt.count <= a3.Bufins.Buffopt.count
+        | _, _ -> true);
+  ]
+
+let suites = [ ("bufins.buffopt", tests) ]

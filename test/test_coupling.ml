@@ -1,0 +1,241 @@
+open Helpers
+module T = Rctree.Tree
+
+let slope = Tech.Process.slope process
+
+let span ~near ~far ?(lambda = 0.5) ?(slope = slope) () =
+  { Coupling.near; far; lambda; slope }
+
+let line len = Fixtures.two_pin process ~len
+
+(* a 4 mm two-pin line with its wire stripped of estimation-mode current *)
+let bare_line len =
+  let b = Rctree.Builder.create () in
+  let so = Rctree.Builder.add_source b ~r_drv:100.0 ~d_drv:30e-12 in
+  let w = T.wire_of_length process len in
+  ignore
+    (Rctree.Builder.add_sink b ~parent:so ~wire:{ w with T.cur = 0.0 } ~name:"s" ~c_sink:20e-15
+       ~rat:2e-9 ~nm:0.8);
+  Rctree.Builder.finish b
+
+let tests =
+  [
+    case "single span splits a wire into three pieces" (fun () ->
+        let t = bare_line 4e-3 in
+        let ann = Coupling.annotate t ~spans:[ (1, [ span ~near:1e-3 ~far:3e-3 () ]) ] in
+        let tr = Coupling.tree ann in
+        Alcotest.(check int) "4 nodes" 4 (T.node_count tr);
+        feq_rel "length preserved" ~eps:1e-9 4e-3 (T.total_wirelength tr);
+        (* exactly one piece carries current: the covered 2 mm *)
+        let curs =
+          List.filter_map
+            (fun v -> if v = T.root tr then None else Some (T.wire_to tr v).T.cur)
+            (T.postorder tr)
+        in
+        let nonzero = List.filter (fun c -> c > 0.0) curs in
+        Alcotest.(check int) "one coupled piece" 1 (List.length nonzero);
+        feq_rel "eq. 6 current" ~eps:1e-9
+          (0.5 *. Tech.Process.wire_c process 2e-3 *. slope)
+          (List.hd nonzero));
+    case "overlapping aggressors accumulate (eq. 6)" (fun () ->
+        let t = bare_line 2e-3 in
+        let ann =
+          Coupling.annotate t
+            ~spans:
+              [
+                ( 1,
+                  [
+                    span ~near:0.0 ~far:2e-3 ~lambda:0.3 ();
+                    span ~near:0.0 ~far:1e-3 ~lambda:0.4 ~slope:(slope *. 2.0) ();
+                  ] );
+              ]
+        in
+        let tr = Coupling.tree ann in
+        let total = Noise.drive_current tr (Noise.cur_at tr) (T.root tr) in
+        let c_half = Tech.Process.wire_c process 1e-3 in
+        let expect =
+          (0.3 *. (2.0 *. c_half) *. slope) +. (0.4 *. c_half *. (slope *. 2.0))
+        in
+        feq_rel "summed currents" ~eps:1e-9 expect total);
+    case "fig. 2: pieces coupled to zero, one or two aggressors" (fun () ->
+        let t = bare_line 9e-3 in
+        let ann =
+          Coupling.annotate t
+            ~spans:
+              [
+                ( 1,
+                  [
+                    span ~near:1e-3 ~far:4e-3 ~lambda:0.3 ();
+                    span ~near:3e-3 ~far:6e-3 ~lambda:0.3 ();
+                    span ~near:5e-3 ~far:7e-3 ~lambda:0.3 ();
+                    span ~near:8e-3 ~far:9e-3 ~lambda:0.3 ();
+                  ] );
+              ]
+        in
+        let tr = Coupling.tree ann in
+        (* boundaries 0,1,3,4,5,6,7,8,9 -> eight pieces *)
+        let pieces = List.filter (fun v -> v <> T.root tr) (T.postorder tr) in
+        Alcotest.(check int) "eight pieces" 8 (List.length pieces);
+        List.iter
+          (fun v ->
+            let n = List.length (Coupling.density ann v) in
+            Alcotest.(check bool) "0..2 aggressors" true (n <= 2))
+          pieces;
+        Alcotest.(check bool) "some piece sees two" true
+          (List.exists (fun v -> List.length (Coupling.density ann v) = 2) pieces);
+        Alcotest.(check bool) "some piece sees none" true
+          (List.exists (fun v -> Coupling.density ann v = []) pieces));
+    case "estimation annotation reproduces estimation mode" (fun () ->
+        let t = line 5e-3 in
+        let ann = Coupling.estimation process t in
+        let a = Noise.leaf_noise (Coupling.tree ann) and b = Noise.leaf_noise t in
+        match (a, b) with
+        | (_, na, ma) :: _, [ (_, nb, mb) ] ->
+            feq_rel "noise equal" ~eps:1e-9 nb na;
+            feq "margins equal" mb ma
+        | _ -> Alcotest.fail "unexpected leaves");
+    case "malformed spans rejected" (fun () ->
+        let t = bare_line 2e-3 in
+        let reject ss =
+          match Coupling.annotate t ~spans:[ (1, ss) ] with
+          | exception Invalid_argument _ -> true
+          | _ -> false
+        in
+        Alcotest.(check bool) "reversed" true (reject [ span ~near:1e-3 ~far:0.5e-3 () ]);
+        Alcotest.(check bool) "past the end" true (reject [ span ~near:0.0 ~far:3e-3 () ]);
+        Alcotest.(check bool) "negative" true (reject [ span ~near:(-1e-4) ~far:1e-3 () ]);
+        Alcotest.(check bool) "lambda > 1" true
+          (reject [ span ~near:0.0 ~far:1e-3 ~lambda:1.5 () ]);
+        Alcotest.(check bool) "overlap sum > 1" true
+          (reject
+             [ span ~near:0.0 ~far:1e-3 ~lambda:0.6 (); span ~near:0.0 ~far:1e-3 ~lambda:0.6 () ]);
+        Alcotest.(check bool) "root span" true
+          (match Coupling.annotate t ~spans:[ (0, []) ] with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    case "densities survive buffering" (fun () ->
+        let t = bare_line 6e-3 in
+        let ann = Coupling.annotate t ~spans:[ (1, [ span ~near:0.0 ~far:6e-3 ~lambda:0.4 () ]) ] in
+        let cc0 = Coupling.total_coupling_cap ann in
+        let buf = Tech.Lib.min_resistance lib in
+        (* the sink of the annotated tree keeps the bottom piece *)
+        let sink = List.hd (T.sinks (Coupling.tree ann)) in
+        let ann' =
+          Coupling.buffered ann [ { Rctree.Surgery.node = sink; dist = 2e-3; buffer = buf } ]
+        in
+        feq_rel "coupling cap invariant" ~eps:1e-9 cc0 (Coupling.total_coupling_cap ann');
+        Alcotest.(check int) "buffer present" 1 (T.buffer_count (Coupling.tree ann'));
+        List.iter
+          (fun v ->
+            if v <> T.root (Coupling.tree ann') then
+              match Coupling.density ann' v with
+              | [ (l, _) ] -> feq "lambda carried" 0.4 l
+              | _ -> Alcotest.fail "density lost")
+          (T.postorder (Coupling.tree ann')));
+    qcase ~count:10 "metric bounds multi-aggressor simulation" QCheck2.Gen.small_int (fun seed ->
+        let rng = Util.Rng.create seed in
+        let len = Util.Rng.range rng 2e-3 6e-3 in
+        let t = bare_line len in
+        (* two random aggressors with different slopes *)
+        let cut () =
+          let near = Util.Rng.range rng 0.0 (len *. 0.5) in
+          let far = Float.min len (near +. Util.Rng.range rng (len *. 0.05) (len *. 0.5)) in
+          (near, far)
+        in
+        let n1, f1 = cut () and n2, f2 = cut () in
+        let mk near far lam sl = span ~near ~far ~lambda:lam ~slope:sl () in
+        let ann =
+          Coupling.annotate t
+            ~spans:
+              [
+                ( 1,
+                  [
+                    mk n1 f1 0.3 slope;
+                    mk n2 f2 0.35 (slope *. Util.Rng.range rng 0.5 2.0);
+                  ] );
+              ]
+        in
+        let tr = Coupling.tree ann in
+        let rep = Noisesim.Verify.net ~density:(Coupling.density ann) process tr in
+        rep.Noisesim.Verify.bound_ok);
+    case "multi-aggressor deck builds one source per slope" (fun () ->
+        let t = bare_line 3e-3 in
+        let ann =
+          Coupling.annotate t
+            ~spans:
+              [
+                ( 1,
+                  [
+                    span ~near:0.0 ~far:3e-3 ~lambda:0.3 ~slope ();
+                    span ~near:0.0 ~far:3e-3 ~lambda:0.3 ~slope:(slope /. 3.0) ();
+                  ] );
+              ]
+        in
+        let tr = Coupling.tree ann in
+        let cfg = Noisesim.Deck.default_config process in
+        let deck =
+          Noisesim.Deck.of_stage ~density:(Coupling.density ann) cfg tr ~gate:(T.root tr)
+        in
+        (* slower aggressor alone would induce less noise: simulated peak
+           must sit between each single-aggressor case and their sum *)
+        let peaks = Noisesim.Deck.peak_noise cfg deck in
+        Alcotest.(check int) "one probe" 1 (List.length peaks);
+        let _, peak = List.hd peaks in
+        Alcotest.(check bool) "positive" true (peak > 0.0));
+  ]
+
+
+(* appended: density-preserving segmenting + coupled optimizers *)
+let refine_tests =
+  [
+    case "refine preserves totals and densities" (fun () ->
+        let t = bare_line 5e-3 in
+        let ann = Coupling.annotate t ~spans:[ (1, [ span ~near:0.0 ~far:5e-3 ~lambda:0.4 () ]) ] in
+        let r = Coupling.refine ann ~max_len:800e-6 in
+        let tr = Coupling.tree r in
+        Alcotest.(check (result unit string)) "valid" (Ok ()) (T.validate tr);
+        feq_rel "length" ~eps:1e-9 5e-3 (T.total_wirelength tr);
+        feq_rel "coupling cap" ~eps:1e-9 (Coupling.total_coupling_cap ann) (Coupling.total_coupling_cap r);
+        List.iter
+          (fun v ->
+            if v <> T.root tr then begin
+              Alcotest.(check bool) "piece bounded" true ((T.wire_to tr v).T.length <= 800e-6 +. 1e-12);
+              match Coupling.density r v with
+              | [ (l, _) ] -> feq "lambda carried" 0.4 l
+              | _ -> Alcotest.fail "density lost"
+            end)
+          (T.postorder tr));
+    case "coupled buffopt clears an extracted-style annotation" (fun () ->
+        let t = bare_line 9e-3 in
+        let ann =
+          Coupling.annotate t
+            ~spans:
+              [
+                ( 1,
+                  [
+                    span ~near:0.0 ~far:9e-3 ~lambda:0.35 ();
+                    span ~near:0.0 ~far:9e-3 ~lambda:0.35 ~slope:(slope /. 2.0) ();
+                  ] );
+              ]
+        in
+        Alcotest.(check bool) "violates" true (Noise.violations (Coupling.tree ann) <> []);
+        match Bufins.Buffopt.optimize_coupled Bufins.Buffopt.Buffopt ~lib ann with
+        | Some (run, ann') ->
+            Alcotest.(check bool) "clean" true (Bufins.Eval.noise_clean run.Bufins.Buffopt.report);
+            Alcotest.(check bool) "timing slack recorded" true
+              (Float.is_finite run.Bufins.Buffopt.predicted_slack);
+            let v =
+              Noisesim.Verify.net ~density:(Coupling.density ann') process (Coupling.tree ann')
+            in
+            Alcotest.(check int) "sim clean" 0 v.Noisesim.Verify.sim_violations;
+            Alcotest.(check bool) "bound holds" true v.Noisesim.Verify.bound_ok
+        | None -> Alcotest.fail "infeasible");
+    case "coupled delay-only optimizer also runs" (fun () ->
+        let t = bare_line 6e-3 in
+        let ann = Coupling.annotate t ~spans:[ (1, [ span ~near:0.0 ~far:6e-3 ~lambda:0.5 () ]) ] in
+        match Bufins.Buffopt.optimize_coupled Bufins.Buffopt.Vangin_max_slack ~lib ann with
+        | Some (run, _) -> Alcotest.(check bool) "buffers" true (run.Bufins.Buffopt.count >= 1)
+        | None -> Alcotest.fail "unexpected None");
+  ]
+
+let suites = [ ("coupling", tests); ("coupling.refine", refine_tests) ]

@@ -1,0 +1,99 @@
+open Helpers
+module T = Rctree.Tree
+
+let tree_gen =
+  QCheck2.Gen.(
+    map
+      (fun seed -> Fixtures.random_net (Util.Rng.create seed) process ~max_sinks:6 ~max_len:2e-3)
+      small_int)
+
+let buf = Tech.Lib.min_resistance lib
+
+let tests =
+  [
+    case "two-pin closed form" (fun () ->
+        let len = 4e-3 and r_drv = 100.0 and c_sink = 20e-15 and d_drv = 30e-12 in
+        let t = Fixtures.two_pin ~r_drv ~c_sink process ~len in
+        let r = Tech.Process.wire_r process len and c = Tech.Process.wire_c process len in
+        let expect = d_drv +. (r_drv *. (c +. c_sink)) +. (r *. ((c /. 2.0) +. c_sink)) in
+        feq_rel "delay" ~eps:1e-12 expect (Elmore.worst_delay t));
+    case "wire delay eq. 2" (fun () ->
+        let w = T.make_wire ~length:1.0 ~res:50.0 ~cap:10e-15 ~cur:0.0 in
+        feq_rel "delay" ~eps:1e-12 (50.0 *. (5e-15 +. 30e-15)) (Elmore.wire_delay w ~load:30e-15));
+    case "fig3 loads" (fun () ->
+        let t = Fixtures.fig3 () in
+        let caps = Elmore.cap_at t in
+        (* v1 sees both sink caps plus both child wire caps: 1+1+1+1 = 4 *)
+        feq "cap v1" 4.0 caps.(1);
+        feq "cap source stage" 5.0 caps.(0));
+    case "slack is min over sinks" (fun () ->
+        let t = Fixtures.fig3 () in
+        let arr = Elmore.sink_arrivals t in
+        let worst = List.fold_left (fun acc (_, a) -> Float.max acc a) 0.0 arr in
+        feq_rel "slack" ~eps:1e-9 (1.0 -. worst) (Elmore.slack t));
+    case "buffer decouples downstream load" (fun () ->
+        let t = Fixtures.two_pin process ~len:4e-3 in
+        let t' = Rctree.Surgery.apply t [ { Rctree.Surgery.node = 1; dist = 2e-3; buffer = buf } ] in
+        let caps = Elmore.cap_at t' in
+        (* the source now sees 2 mm of wire plus the buffer input, nothing behind it *)
+        let expect = Tech.Process.wire_c process 2e-3 +. buf.Tech.Buffer.c_in in
+        feq_rel "decoupled" ~eps:1e-9 expect caps.(T.root t'));
+    qcase ~count:60 "arrival increments are wire+gate delays" tree_gen (fun t ->
+        let arr = Elmore.arrivals t in
+        let caps = Elmore.cap_at t in
+        List.for_all
+          (fun v ->
+            v = T.root t
+            ||
+            let w = T.wire_to t v in
+            let gate =
+              match T.kind t v with
+              | T.Buffered b -> Tech.Buffer.gate_delay b ~load:(Elmore.drive_load t caps v)
+              | T.Source _ | T.Sink _ | T.Internal -> 0.0
+            in
+            Util.Fx.approx ~rel:1e-9 ~abs:1e-18
+              (arr.(v) -. arr.(T.parent t v))
+              (Elmore.wire_delay w ~load:caps.(v) +. gate))
+          (T.postorder t));
+    qcase ~count:60 "arrivals are monotone down the tree" tree_gen (fun t ->
+        let arr = Elmore.arrivals t in
+        List.for_all
+          (fun v -> v = T.root t || arr.(v) >= arr.(T.parent t v) -. 1e-18)
+          (T.postorder t));
+    qcase ~count:40 "extra sink cap slows every downstream path" tree_gen (fun t ->
+        let d0 = Elmore.worst_delay t in
+        (* grow every sink's load by 10 fF and recompute *)
+        let b = Rctree.Builder.create () in
+        let rec copy v parent =
+          let id =
+            match T.kind t v with
+            | T.Source d -> Rctree.Builder.add_source b ~r_drv:d.T.r_drv ~d_drv:d.T.d_drv
+            | T.Sink s ->
+                Rctree.Builder.add_sink b ~parent ~wire:(T.wire_to t v) ~name:s.T.sname
+                  ~c_sink:(s.T.c_sink +. 10e-15) ~rat:s.T.rat ~nm:s.T.nm
+            | T.Internal ->
+                Rctree.Builder.add_internal b ~parent ~wire:(T.wire_to t v)
+                  ~feasible:(T.feasible t v) ()
+            | T.Buffered bu -> Rctree.Builder.add_buffered b ~parent ~wire:(T.wire_to t v) bu
+          in
+          List.iter (fun c -> copy c id) (T.children t v)
+        in
+        copy (T.root t) (-1);
+        Elmore.worst_delay (Rctree.Builder.finish b) > d0);
+    case "segmenting leaves delay unchanged" (fun () ->
+        let t = Fixtures.two_pin process ~len:5e-3 in
+        let s = Rctree.Segment.refine t ~max_len:250e-6 in
+        feq_rel "invariant" ~eps:1e-9 (Elmore.worst_delay t) (Elmore.worst_delay s));
+    case "inserting a buffer on a long line reduces delay" (fun () ->
+        let t = Fixtures.two_pin process ~len:10e-3 in
+        let t' = Rctree.Surgery.apply t [ { Rctree.Surgery.node = 1; dist = 5e-3; buffer = buf } ] in
+        Alcotest.(check bool) "faster" true (Elmore.worst_delay t' < Elmore.worst_delay t));
+    case "balanced tree sinks arrive together" (fun () ->
+        let t = Fixtures.balanced process ~levels:3 ~trunk_len:2e-3 in
+        let arr = List.map snd (Elmore.sink_arrivals t) in
+        let mn = List.fold_left Float.min infinity arr
+        and mx = List.fold_left Float.max neg_infinity arr in
+        feq_rel "skew-free" ~eps:1e-9 mn mx);
+  ]
+
+let suites = [ ("elmore", tests) ]

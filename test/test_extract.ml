@@ -1,0 +1,150 @@
+open Helpers
+module P = Geometry.Point
+module T = Rctree.Tree
+
+let cfg = Extract.default_config process
+
+let bus ?bits ?pitch ?len () =
+  List.map (Extract.route process) (Workload.parallel_bus ?bits ?pitch ?len ())
+
+let spans_of routed aggressors = Extract.victim_spans cfg ~victim:routed ~aggressors
+
+let total_lambda_length spans =
+  List.fold_left
+    (fun acc (_, ss) ->
+      acc
+      +. List.fold_left (fun a (s : Coupling.span) -> a +. (s.Coupling.lambda *. (s.Coupling.far -. s.Coupling.near))) 0.0 ss)
+    0.0 spans
+
+let tests =
+  [
+    case "lambda falls off with spacing (eq. 17)" (fun () ->
+        feq "at pitch" 0.35 (Extract.lambda_of_spacing cfg 400);
+        feq_rel "at 2x" ~eps:1e-9 0.175 (Extract.lambda_of_spacing cfg 800);
+        feq "beyond window" 0.0 (Extract.lambda_of_spacing cfg 1300);
+        feq "degenerate" 0.0 (Extract.lambda_of_spacing cfg 0);
+        feq "closer than pitch is capped" 0.35 (Extract.lambda_of_spacing cfg 200));
+    case "two parallel wires couple over their full run" (fun () ->
+        match bus ~bits:2 ~len:2_000_000 () with
+        | [ a; b ] -> (
+            match spans_of a [ b ] with
+            | [ (v, [ span ]) ] ->
+                Alcotest.(check bool) "non-root" true (v <> T.root a.Extract.tree);
+                feq "near" 0.0 span.Coupling.near;
+                feq_rel "far = full wire" ~eps:1e-9 2e-3 span.Coupling.far;
+                feq "lambda at pitch" 0.35 span.Coupling.lambda
+            | _ -> Alcotest.fail "expected one span on one wire")
+        | _ -> Alcotest.fail "expected two nets");
+    case "no self or far coupling" (fun () ->
+        match bus ~bits:3 ~pitch:5_000 () with
+        | [ a; _; c ] ->
+            (* 10 um apart: outside the window *)
+            Alcotest.(check int) "none" 0 (List.length (spans_of a [ c ]))
+        | _ -> Alcotest.fail "expected three nets");
+    case "middle bit of a bus sees both neighbours, shielded beyond" (fun () ->
+        let routed = bus ~bits:5 () in
+        let victim = List.nth routed 2 in
+        let aggressors = List.filteri (fun i _ -> i <> 2) routed in
+        match spans_of victim aggressors with
+        | [ (_, ss) ] ->
+            Alcotest.(check int) "exactly the two nearest couple" 2 (List.length ss);
+            List.iter (fun (s : Coupling.span) -> feq "lambda" 0.35 s.Coupling.lambda) ss
+        | _ -> Alcotest.fail "expected spans on the single wire");
+    case "edge bit sees one neighbour" (fun () ->
+        let routed = bus ~bits:4 () in
+        let victim = List.hd routed in
+        match spans_of victim (List.tl routed) with
+        | [ (_, ss) ] -> Alcotest.(check int) "one side only" 1 (List.length ss)
+        | _ -> Alcotest.fail "expected spans");
+    case "annotate matches estimation mode for a squeezed victim" (fun () ->
+        (* both nearest neighbours at pitch: extracted coupling equals the
+           estimation-mode lambda = 0.7 corner, so the metrics agree *)
+        let routed = bus ~bits:3 ~len:4_000_000 () in
+        let victim = List.nth routed 1 in
+        let ann =
+          Extract.annotate cfg ~victim ~aggressors:[ List.nth routed 0; List.nth routed 2 ]
+        in
+        let est =
+          Steiner.Build.tree_of_net process (Workload.parallel_bus ~bits:1 ~len:4_000_000 () |> List.hd)
+        in
+        let extracted_noise =
+          match Noise.leaf_noise (Coupling.tree ann) with (_, n, _) :: _ -> n | [] -> nan
+        in
+        let est_noise = match Noise.leaf_noise est with (_, n, _) :: _ -> n | [] -> nan in
+        feq_rel "same corner" ~eps:1e-6 est_noise extracted_noise);
+    case "staggered wires couple only over the overlap" (fun () ->
+        let mk name x0 x1 y =
+          Extract.route process
+            (Steiner.Net.make ~name ~source:(P.make x0 y) ~r_drv:100.0 ~d_drv:0.0
+               ~pins:
+                 [
+                   { Steiner.Net.pname = name ^ "s"; at = P.make x1 y; c_sink = 1e-15; rat = 1e-9; nm = 0.8 };
+                 ])
+        in
+        let v = mk "v" 0 3_000_000 0 in
+        let a = mk "a" 1_000_000 5_000_000 400 in
+        (match spans_of v [ a ] with
+        | [ (_, [ s ]) ] ->
+            (* overlap x in [1 mm, 3 mm]; distance from the sink (x = 3 mm) *)
+            feq_rel "near" ~eps:1e-9 0.0 s.Coupling.near;
+            feq_rel "far" ~eps:1e-9 2e-3 s.Coupling.far
+        | _ -> Alcotest.fail "expected one span");
+        (* and the symmetric view from the aggressor's side *)
+        match spans_of a [ v ] with
+        | [ (_, [ s ]) ] -> feq_rel "length" ~eps:1e-9 2e-3 (s.Coupling.far -. s.Coupling.near)
+        | _ -> Alcotest.fail "expected one span");
+    case "orthogonal wires do not couple" (fun () ->
+        let v =
+          Extract.route process
+            (Steiner.Net.make ~name:"v" ~source:(P.make 0 0) ~r_drv:100.0 ~d_drv:0.0
+               ~pins:[ { Steiner.Net.pname = "vs"; at = P.make 2_000_000 0; c_sink = 1e-15; rat = 1e-9; nm = 0.8 } ])
+        in
+        let a =
+          Extract.route process
+            (Steiner.Net.make ~name:"a" ~source:(P.make 1_000_000 400) ~r_drv:100.0 ~d_drv:0.0
+               ~pins:
+                 [ { Steiner.Net.pname = "as"; at = P.make 1_000_000 2_000_000; c_sink = 1e-15; rat = 1e-9; nm = 0.8 } ])
+        in
+        Alcotest.(check int) "none" 0 (List.length (spans_of v [ a ])));
+    case "normalization keeps total lambda below one" (fun () ->
+        (* crowd four aggressors onto both sides at sub-pitch spacing *)
+        let mk name y =
+          Extract.route process
+            (Steiner.Net.make ~name ~source:(P.make 0 y) ~r_drv:100.0 ~d_drv:0.0
+               ~pins:[ { Steiner.Net.pname = name ^ "s"; at = P.make 1_000_000 y; c_sink = 1e-15; rat = 1e-9; nm = 0.8 } ])
+        in
+        let v = mk "v" 0 in
+        let aggs = [ mk "a" 100; mk "b" (-100) ] in
+        match spans_of v aggs with
+        | [ (_, ss) ] ->
+            let sum = List.fold_left (fun a (s : Coupling.span) -> a +. s.Coupling.lambda) 0.0 ss in
+            Alcotest.(check bool) "normalized" true (sum <= 0.95 +. 1e-9)
+        | _ -> Alcotest.fail "expected spans");
+    case "extraction feeds buffopt end to end" (fun () ->
+        let routed = bus ~bits:3 ~len:9_000_000 () in
+        let victim = List.nth routed 1 in
+        let ann =
+          Extract.annotate cfg ~victim ~aggressors:[ List.nth routed 0; List.nth routed 2 ]
+        in
+        let tree = Coupling.tree ann in
+        Alcotest.(check bool) "violates before" true (Noise.violations tree <> []);
+        (* Algorithm 2 places continuously on the annotated tree itself,
+           so the coupling densities can follow the solution *)
+        let r = Bufins.Alg2.run ~lib tree in
+        let ann' = Coupling.buffered ann r.Bufins.Alg2.placements in
+        Alcotest.(check bool) "clean after" true
+          (Noise.violations (Coupling.tree ann') = []);
+        (* verify with the multi-aggressor transient decks *)
+        let v =
+          Noisesim.Verify.net ~density:(Coupling.density ann') process (Coupling.tree ann')
+        in
+        Alcotest.(check int) "sim clean" 0 v.Noisesim.Verify.sim_violations;
+        Alcotest.(check bool) "bound holds" true v.Noisesim.Verify.bound_ok);
+    case "total coupled exposure scales with bus length" (fun () ->
+        let short = bus ~bits:2 ~len:1_000_000 () in
+        let long = bus ~bits:2 ~len:4_000_000 () in
+        let expo nets = total_lambda_length (spans_of (List.hd nets) (List.tl nets)) in
+        feq_rel "4x" ~eps:1e-6 (4.0 *. expo short) (expo long));
+  ]
+
+let suites = [ ("extract", tests) ]

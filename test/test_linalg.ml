@@ -1,0 +1,93 @@
+open Helpers
+
+let mat_of rows =
+  let n = Array.length rows in
+  let m = Linalg.Mat.create n in
+  Array.iteri (fun i row -> Array.iteri (fun j v -> Linalg.Mat.set m i j v) row) rows;
+  m
+
+(* random diagonally dominant system: always well-conditioned *)
+let dd_system rng n =
+  let m = Linalg.Mat.create n in
+  for i = 0 to n - 1 do
+    let rowsum = ref 0.0 in
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        let v = Util.Rng.range rng (-1.0) 1.0 in
+        Linalg.Mat.set m i j v;
+        rowsum := !rowsum +. Float.abs v
+      end
+    done;
+    Linalg.Mat.set m i i (!rowsum +. Util.Rng.range rng 0.5 2.0)
+  done;
+  let x = Array.init n (fun _ -> Util.Rng.range rng (-5.0) 5.0) in
+  (m, x)
+
+let tests =
+  [
+    case "identity solve" (fun () ->
+        let m = mat_of [| [| 1.0; 0.0 |]; [| 0.0; 1.0 |] |] in
+        let x = Linalg.Mat.solve m [| 3.0; -4.0 |] in
+        feq "x0" 3.0 x.(0);
+        feq "x1" (-4.0) x.(1));
+    case "known 2x2" (fun () ->
+        (* 2x + y = 5; x + 3y = 10 -> x = 1, y = 3 *)
+        let m = mat_of [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+        let x = Linalg.Mat.solve m [| 5.0; 10.0 |] in
+        feq ~eps:1e-12 "x" 1.0 x.(0);
+        feq ~eps:1e-12 "y" 3.0 x.(1));
+    case "pivoting handles zero diagonal" (fun () ->
+        let m = mat_of [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+        let x = Linalg.Mat.solve m [| 7.0; 9.0 |] in
+        feq "x" 9.0 x.(0);
+        feq "y" 7.0 x.(1));
+    case "singular raises" (fun () ->
+        let m = mat_of [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+        Alcotest.(check bool) "raises" true
+          (match Linalg.Mat.lu_factor m with
+          | exception Linalg.Mat.Singular _ -> true
+          | _ -> false));
+    case "mul_vec known" (fun () ->
+        let m = mat_of [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+        let y = Linalg.Mat.mul_vec m [| 1.0; 1.0 |] in
+        feq "y0" 3.0 y.(0);
+        feq "y1" 7.0 y.(1));
+    case "factor reused across solves" (fun () ->
+        let m = mat_of [| [| 4.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+        let lu = Linalg.Mat.lu_factor m in
+        let x1 = Linalg.Mat.lu_solve lu [| 1.0; 0.0 |] in
+        let x2 = Linalg.Mat.lu_solve lu [| 0.0; 1.0 |] in
+        let r1 = Linalg.Mat.mul_vec m x1 and r2 = Linalg.Mat.mul_vec m x2 in
+        feq ~eps:1e-12 "r1a" 1.0 r1.(0);
+        feq ~eps:1e-12 "r1b" 0.0 r1.(1);
+        feq ~eps:1e-12 "r2a" 0.0 r2.(0);
+        feq ~eps:1e-12 "r2b" 1.0 r2.(1));
+    qcase ~count:50 "random dd systems solve" QCheck2.Gen.(pair small_int (int_range 1 40))
+      (fun (seed, n) ->
+        let rng = Util.Rng.create seed in
+        let m, x = dd_system rng n in
+        let b = Linalg.Mat.mul_vec m x in
+        let x' = Linalg.Mat.solve m b in
+        Linalg.Vec.max_abs_diff x x' < 1e-8);
+    case "copy is deep" (fun () ->
+        let m = mat_of [| [| 1.0 |] |] in
+        let c = Linalg.Mat.copy m in
+        Linalg.Mat.set c 0 0 5.0;
+        feq "original intact" 1.0 (Linalg.Mat.get m 0 0));
+    case "add accumulates" (fun () ->
+        let m = Linalg.Mat.create 1 in
+        Linalg.Mat.add m 0 0 2.0;
+        Linalg.Mat.add m 0 0 3.0;
+        feq "sum" 5.0 (Linalg.Mat.get m 0 0));
+    case "vec axpy and dot" (fun () ->
+        let x = [| 1.0; 2.0 |] and y = [| 10.0; 20.0 |] in
+        Linalg.Vec.axpy 2.0 x y;
+        feq "y0" 12.0 y.(0);
+        feq "y1" 24.0 y.(1);
+        feq "dot" 60.0 (Linalg.Vec.dot x y));
+    case "vec norms" (fun () ->
+        feq "inf" 4.0 (Linalg.Vec.norm_inf [| 1.0; -4.0; 2.0 |]);
+        feq "diff" 3.0 (Linalg.Vec.max_abs_diff [| 1.0; 5.0 |] [| 1.0; 2.0 |]));
+  ]
+
+let suites = [ ("linalg", tests) ]

@@ -1,0 +1,136 @@
+open Helpers
+module T = Rctree.Tree
+
+(* Random trees with zero intrinsic gate delay so that -m1 at a sink must
+   equal its Elmore arrival time exactly. *)
+let delayless_gen =
+  QCheck2.Gen.(
+    map
+      (fun seed ->
+        let rng = Util.Rng.create seed in
+        let b = Rctree.Builder.create () in
+        let so = Rctree.Builder.add_source b ~r_drv:(Util.Rng.range rng 20.0 300.0) ~d_drv:0.0 in
+        let n = 1 + Util.Rng.int rng 4 in
+        let attach = ref [ so ] in
+        for k = 0 to n - 1 do
+          let parent = List.nth !attach (Util.Rng.int rng (List.length !attach)) in
+          let parent =
+            if Util.Rng.bool rng then begin
+              let v =
+                Rctree.Builder.add_internal b ~parent
+                  ~wire:(T.wire_of_length process (Util.Rng.range rng 1e-4 3e-3))
+                  ()
+              in
+              attach := v :: !attach;
+              v
+            end
+            else parent
+          in
+          ignore
+            (Rctree.Builder.add_sink b ~parent
+               ~wire:(T.wire_of_length process (Util.Rng.range rng 1e-4 3e-3))
+               ~name:(Printf.sprintf "s%d" k)
+               ~c_sink:(Util.Rng.range rng 1e-15 50e-15)
+               ~rat:1e-9 ~nm:0.8)
+        done;
+        Rctree.Builder.finish b)
+      small_int)
+
+let tests =
+  [
+    qcase ~count:60 "-m1 equals Elmore arrival" delayless_gen (fun t ->
+        let m = Moments.stage_moments t ~order:1 in
+        let arr = Elmore.arrivals t in
+        List.for_all
+          (fun s -> Util.Fx.approx ~rel:1e-9 (Moments.elmore_delay ~m1:m.(0).(s)) arr.(s))
+          (T.sinks t));
+    qcase ~count:60 "moment signs alternate" delayless_gen (fun t ->
+        let m = Moments.stage_moments t ~order:3 in
+        List.for_all (fun s -> m.(0).(s) < 0.0 && m.(1).(s) > 0.0 && m.(2).(s) < 0.0) (T.sinks t));
+    qcase ~count:60 "d2m does not exceed Elmore" delayless_gen (fun t ->
+        (* ln2 * m1^2/sqrt(m2) <= -m1 because m2 <= m1^2 on RC trees *)
+        let m = Moments.stage_moments t ~order:2 in
+        List.for_all
+          (fun s ->
+            Moments.d2m ~m1:m.(0).(s) ~m2:m.(1).(s)
+            <= Moments.elmore_delay ~m1:m.(0).(s) +. 1e-18)
+          (T.sinks t));
+    qcase ~count:40 "two-pole 50% delay below Elmore, above zero" delayless_gen (fun t ->
+        let m = Moments.stage_moments t ~order:3 in
+        List.for_all
+          (fun s ->
+            let d = Moments.two_pole_delay50 ~m1:m.(0).(s) ~m2:m.(1).(s) ~m3:m.(2).(s) in
+            d > 0.0 && d <= Moments.elmore_delay ~m1:m.(0).(s) +. 1e-15)
+          (T.sinks t));
+    case "two-pole matches transient on an RC line" (fun () ->
+        (* 4 mm uncoupled line: compare the 50% delay of the two-pole model
+           against the full simulator *)
+        let len = 4e-3 in
+        let r_drv = 150.0 in
+        let b = Rctree.Builder.create () in
+        let so = Rctree.Builder.add_source b ~r_drv ~d_drv:0.0 in
+        let w =
+          T.make_wire ~length:len ~res:(Tech.Process.wire_r process len)
+            ~cap:(Tech.Process.wire_c process len) ~cur:0.0
+        in
+        ignore (Rctree.Builder.add_sink b ~parent:so ~wire:w ~name:"s" ~c_sink:20e-15 ~rat:1e-9 ~nm:0.8);
+        let t = Rctree.Builder.finish b in
+        let m = Moments.stage_moments t ~order:3 in
+        let sink = List.hd (T.sinks t) in
+        let two_pole = Moments.two_pole_delay50 ~m1:m.(0).(sink) ~m2:m.(1).(sink) ~m3:m.(2).(sink) in
+        (* build the same line as a 40-segment circuit driven by a step *)
+        let nl = Circuit.Netlist.create () in
+        let src = Circuit.Netlist.fresh nl in
+        Circuit.Netlist.drive nl src (Circuit.Waveform.ramp ~t0:0.0 ~t_rise:1e-13 ~v0:0.0 ~v1:1.0);
+        let n = 40 in
+        let seg_r = w.T.res /. float_of_int n and seg_c = w.T.cap /. float_of_int n in
+        let first = Circuit.Netlist.fresh nl in
+        Circuit.Netlist.resistor nl src first r_drv;
+        let last =
+          List.fold_left
+            (fun prev _ ->
+              let next = Circuit.Netlist.fresh nl in
+              Circuit.Netlist.resistor nl prev next seg_r;
+              Circuit.Netlist.capacitor nl next Circuit.Netlist.ground seg_c;
+              next)
+            first
+            (List.init n (fun i -> i))
+        in
+        Circuit.Netlist.capacitor nl last Circuit.Netlist.ground 20e-15;
+        let res =
+          Circuit.Transient.simulate ~record:true nl ~dt:2e-12 ~t_end:2e-9 ~probes:[ last ]
+        in
+        let tr = match res.Circuit.Transient.traces with Some x -> x.(0) | None -> assert false in
+        let crossing = ref nan in
+        Array.iteri
+          (fun k v -> if Float.is_nan !crossing && v >= 0.5 then crossing := res.Circuit.Transient.times.(k))
+          tr;
+        feq_rel "two-pole vs simulation" ~eps:0.12 !crossing two_pole);
+    case "order must be positive" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (match Moments.stage_moments (Fixtures.fig3 ()) ~order:0 with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    case "buffers reset moments per stage" (fun () ->
+        let t = Fixtures.two_pin process ~len:6e-3 in
+        let buf = Tech.Lib.min_resistance lib in
+        let t' = Rctree.Surgery.apply t [ { Rctree.Surgery.node = 1; dist = 3e-3; buffer = buf } ] in
+        let m = Moments.stage_moments t' ~order:1 in
+        let sink = List.hd (T.sinks t') in
+        let unbuffered = Moments.stage_moments t ~order:1 in
+        let sink0 = List.hd (T.sinks t) in
+        (* per-stage m1 at the sink is far below the whole-line m1 *)
+        Alcotest.(check bool) "reset" true
+          (Moments.elmore_delay ~m1:m.(0).(sink)
+          < 0.5 *. Moments.elmore_delay ~m1:unbuffered.(0).(sink0)));
+    case "step response is monotone and saturates" (fun () ->
+        let t = Fixtures.two_pin process ~len:4e-3 in
+        let m = Moments.stage_moments t ~order:3 in
+        let sink = List.hd (T.sinks t) in
+        let f x = Moments.step_response_two_pole ~m1:m.(0).(sink) ~m2:m.(1).(sink) ~m3:m.(2).(sink) x in
+        feq "starts near 0" ~eps:0.02 0.0 (f 0.0);
+        Alcotest.(check bool) "monotone" true (f 1e-10 < f 3e-10 && f 3e-10 < f 1e-9);
+        feq "saturates" ~eps:0.01 1.0 (f 1e-8));
+  ]
+
+let suites = [ ("moments", tests) ]

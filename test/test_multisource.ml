@@ -1,0 +1,123 @@
+open Helpers
+module T = Rctree.Tree
+
+let old_source_spec = { T.sname = "drv_pin"; c_sink = 15e-15; rat = 2e-9; nm = 0.8 }
+
+(* a point-to-point bidirectional bus: terminal A (the tree source) and
+   terminal B (a sink that can also drive) *)
+let bus len =
+  let t = Fixtures.two_pin ~r_drv:100.0 ~c_sink:15e-15 process ~len in
+  let port = { Bufins.Multisource.pnode = 1; p_r_drv = 100.0; p_d_drv = 30e-12 } in
+  (t, port)
+
+let reroot_tests =
+  [
+    case "two-pin reroot swaps the endpoints" (fun () ->
+        let t, port = bus 3e-3 in
+        let r = Bufins.Multisource.rerooted t ~old_source:old_source_spec port in
+        Alcotest.(check (result unit string)) "valid" (Ok ()) (T.validate r);
+        Alcotest.(check int) "same node count" (T.node_count t) (T.node_count r);
+        Alcotest.(check int) "root moved" 1 (T.root r);
+        (match T.kind r 0 with
+        | T.Sink s -> Alcotest.(check string) "old driver is a sink" "drv_pin" s.T.sname
+        | _ -> Alcotest.fail "old root should be a sink");
+        feq_rel "wire preserved" ~eps:1e-12 3e-3 (T.total_wirelength r));
+    case "symmetric bus has symmetric delay" (fun () ->
+        let t, port = bus 4e-3 in
+        (* matching terminal electricals: c_sink 15 fF both ends, same
+           drivers, so A->B and B->A Elmore delays coincide *)
+        let r =
+          Bufins.Multisource.rerooted t
+            ~old_source:{ old_source_spec with T.c_sink = 15e-15 }
+            { port with Bufins.Multisource.p_r_drv = 100.0 }
+        in
+        feq_rel "symmetric" ~eps:1e-9
+          (Elmore.worst_delay t -. 30e-12 (* two_pin uses d_drv = 30 ps *))
+          (Elmore.worst_delay r -. port.Bufins.Multisource.p_d_drv));
+    case "reroot at a branch port keeps the other sink" (fun () ->
+        let t = Fixtures.balanced process ~levels:1 ~trunk_len:2e-3 in
+        let port_node = List.hd (T.sinks t) in
+        let r =
+          Rctree.Reroot.at t ~port:port_node ~r_drv:80.0 ~d_drv:0.0 ~old_source:old_source_spec
+        in
+        Alcotest.(check (result unit string)) "valid" (Ok ()) (T.validate r);
+        (* old source had one child: becomes the drv_pin sink; both other
+           sinks remain *)
+        Alcotest.(check int) "sink count" 2 (List.length (T.sinks r));
+        Alcotest.(check int) "root" port_node (T.root r));
+    case "reroot keeps node ids for every wire" (fun () ->
+        let t, port = bus 5e-3 in
+        let seg = Rctree.Segment.refine t ~max_len:1e-3 in
+        let port = { port with Bufins.Multisource.pnode = List.hd (T.sinks seg) } in
+        let r = Bufins.Multisource.rerooted seg ~old_source:old_source_spec port in
+        List.iter
+          (fun v ->
+            if v <> T.root seg then begin
+              let u = T.parent seg v in
+              match Rctree.Reroot.wire_owner r u v with
+              | Some _ -> ()
+              | None -> Alcotest.fail "wire lost across reroot"
+            end)
+          (T.postorder seg));
+    case "reroot rejects non-sinks" (fun () ->
+        let t = Rctree.Segment.refine (Fixtures.two_pin process ~len:2e-3) ~max_len:1e-3 in
+        let internal = List.hd (T.internals t) in
+        Alcotest.(check bool) "raises" true
+          (match
+             Rctree.Reroot.at t ~port:internal ~r_drv:1.0 ~d_drv:0.0 ~old_source:old_source_spec
+           with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+  ]
+
+let multisource_tests =
+  [
+    case "long bidirectional bus becomes clean in both modes" (fun () ->
+        let t, port = bus 10e-3 in
+        let r = Bufins.Multisource.run ~lib ~old_source:old_source_spec ~ports:[ port ] t in
+        Alcotest.(check bool) "clean everywhere" true (Bufins.Multisource.all_modes_clean r);
+        Alcotest.(check int) "two modes evaluated" 2 (List.length r.Bufins.Multisource.modes);
+        Alcotest.(check bool) "buffers inserted" true (r.Bufins.Multisource.count > 0));
+    case "short bus needs nothing" (fun () ->
+        let t, port = bus 0.5e-3 in
+        let r = Bufins.Multisource.run ~lib ~old_source:old_source_spec ~ports:[ port ] t in
+        Alcotest.(check int) "no buffers" 0 r.Bufins.Multisource.count);
+    case "asymmetric drivers still converge" (fun () ->
+        let t, _ = bus 8e-3 in
+        let weak = { Bufins.Multisource.pnode = 1; p_r_drv = 400.0; p_d_drv = 50e-12 } in
+        let r = Bufins.Multisource.run ~lib ~old_source:old_source_spec ~ports:[ weak ] t in
+        Alcotest.(check bool) "clean everywhere" true (Bufins.Multisource.all_modes_clean r));
+    qcase ~count:25 "random two-port busses come out clean in all modes" QCheck2.Gen.small_int
+      (fun seed ->
+        let rng = Util.Rng.create seed in
+        let len = Util.Rng.range rng 1e-3 12e-3 in
+        let t, _ = bus len in
+        let port =
+          {
+            Bufins.Multisource.pnode = 1;
+            p_r_drv = Util.Rng.range rng 40.0 300.0;
+            p_d_drv = Util.Rng.range rng 0.0 50e-12;
+          }
+        in
+        let r = Bufins.Multisource.run ~lib ~old_source:old_source_spec ~ports:[ port ] t in
+        Bufins.Multisource.all_modes_clean r);
+    case "multi-drop bus with a branch port" (fun () ->
+        (* A drives a tree with sinks B and C; B can also drive *)
+        let t = Fixtures.balanced process ~levels:1 ~trunk_len:6e-3 ~fanout_len:2e-3 in
+        let port =
+          { Bufins.Multisource.pnode = List.hd (T.sinks t); p_r_drv = 120.0; p_d_drv = 30e-12 }
+        in
+        let r = Bufins.Multisource.run ~lib ~old_source:old_source_spec ~ports:[ port ] t in
+        Alcotest.(check bool) "clean everywhere" true (Bufins.Multisource.all_modes_clean r));
+    case "inverting-only library rejected" (fun () ->
+        let t, port = bus 2e-3 in
+        Alcotest.(check bool) "raises" true
+          (match
+             Bufins.Multisource.run ~lib:(Tech.Lib.inverting lib) ~old_source:old_source_spec
+               ~ports:[ port ] t
+           with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+  ]
+
+let suites = [ ("rctree.reroot", reroot_tests); ("bufins.multisource", multisource_tests) ]

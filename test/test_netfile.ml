@@ -1,0 +1,103 @@
+open Helpers
+
+let tmp content =
+  let path = Filename.temp_file "buffopt_net" ".net" in
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc;
+  path
+
+let tests =
+  [
+    case "sample parses" (fun () ->
+        let path = tmp Steiner.Netfile.sample in
+        let net = Steiner.Netfile.read path in
+        Sys.remove path;
+        Alcotest.(check int) "three sinks" 3 (Steiner.Net.degree net);
+        Alcotest.(check string) "name" "sample" net.Steiner.Net.nname);
+    case "round trip preserves electricals" (fun () ->
+        let cfg = { Workload.default_config with nets = 5 } in
+        List.iter
+          (fun net ->
+            let path = tmp (Steiner.Netfile.to_string net) in
+            let net' = Steiner.Netfile.read path in
+            Sys.remove path;
+            let tree = Steiner.Build.tree_of_net process net in
+            let tree' = Steiner.Build.tree_of_net process net' in
+            feq_rel "delay" ~eps:1e-6 (Elmore.worst_delay tree) (Elmore.worst_delay tree');
+            Alcotest.(check int) "sinks" (Steiner.Net.degree net) (Steiner.Net.degree net'))
+          (Workload.generate cfg));
+    case "missing source rejected" (fun () ->
+        let path = tmp "sink a 1 1 10 100 0.8\n" in
+        let r = match Steiner.Netfile.read path with exception Steiner.Netfile.Parse _ -> true | _ -> false in
+        Sys.remove path;
+        Alcotest.(check bool) "raises" true r);
+    case "bad numbers carry a location" (fun () ->
+        let path = tmp "source 0 0 oops 30\n" in
+        let r =
+          match Steiner.Netfile.read path with
+          | exception Steiner.Netfile.Parse m ->
+              String.length m > 0 && String.contains m ':'
+          | _ -> false
+        in
+        Sys.remove path;
+        Alcotest.(check bool) "raises with location" true r);
+    case "unknown directive rejected" (fun () ->
+        let path = tmp "source 0 0 100 30\nfrobnicate\n" in
+        let r = match Steiner.Netfile.read path with exception Steiner.Netfile.Parse _ -> true | _ -> false in
+        Sys.remove path;
+        Alcotest.(check bool) "raises" true r);
+    case "coincident pins rejected as parse error" (fun () ->
+        let path = tmp "source 0 0 100 30\nsink a 5 5 10 100 0.8\nsink b 5 5 10 100 0.8\n" in
+        let r = match Steiner.Netfile.read path with exception Steiner.Netfile.Parse _ -> true | _ -> false in
+        Sys.remove path;
+        Alcotest.(check bool) "raises" true r);
+  ]
+
+
+(* appended: parser robustness — junk input must fail cleanly *)
+let fuzz_tests =
+  let junk_gen =
+    QCheck2.Gen.(
+      list_size (int_range 0 12)
+        (oneof
+           [
+             string_size ~gen:printable (int_range 0 40);
+             return "net x";
+             return "source 0 0 100 30";
+             return "sink a 1 2 10 100 0.8";
+             return "sink a nope 2 10 100 0.8";
+             return "# comment";
+           ]))
+  in
+  let write_lines lines =
+    let path = Filename.temp_file "buffopt_fuzz" ".net" in
+    let oc = open_out path in
+    List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+    close_out oc;
+    path
+  in
+  [
+    qcase ~count:150 "net parser never crashes on junk" junk_gen (fun lines ->
+        let path = write_lines lines in
+        let ok =
+          match Steiner.Netfile.read path with
+          | _ -> true
+          | exception Steiner.Netfile.Parse _ -> true
+          | exception _ -> false
+        in
+        Sys.remove path;
+        ok);
+    qcase ~count:150 "design parser never crashes on junk" junk_gen (fun lines ->
+        let path = write_lines lines in
+        let ok =
+          match Sta.Netfmt.read path with
+          | _ -> true
+          | exception Sta.Netfmt.Parse _ -> true
+          | exception _ -> false
+        in
+        Sys.remove path;
+        ok);
+  ]
+
+let suites = [ ("steiner.netfile", tests); ("parsers.fuzz", fuzz_tests) ]

@@ -1,0 +1,116 @@
+open Helpers
+
+let tmp_write content =
+  let path = Filename.temp_file "buffopt_test" ".design" in
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc;
+  path
+
+let tests =
+  [
+    case "round trip preserves the design" (fun () ->
+        let d = Sta.Gen.random { Sta.Gen.default_config with Sta.Gen.gates = 30; seed = 5 } in
+        let path = tmp_write (Sta.Netfmt.to_string d) in
+        let d' = Sta.Netfmt.read path in
+        Sys.remove path;
+        Alcotest.(check string) "stats" (Sta.Design.stats d) (Sta.Design.stats d');
+        (* identical STA results prove electrical equivalence *)
+        let a = Sta.Engine.analyze process d and b = Sta.Engine.analyze process d' in
+        feq_rel "wns" ~eps:1e-6 a.Sta.Engine.wns b.Sta.Engine.wns;
+        feq_rel "tns" ~eps:1e-6 (a.Sta.Engine.tns +. 1e-15) (b.Sta.Engine.tns +. 1e-15);
+        Alcotest.(check int) "noisy" a.Sta.Engine.noisy_nets b.Sta.Engine.noisy_nets);
+    case "small design parses" (fun () ->
+        let path =
+          tmp_write
+            "# tiny\n\
+             pi in 0 0 0 100 20\n\
+             po out 4000 0 2000 30 0.8\n\
+             inst g0 inv_x4 2000 0\n\
+             net n0 pi:in g0:0\n\
+             net n1 g0 po:out\n"
+        in
+        let d = Sta.Netfmt.read path in
+        Sys.remove path;
+        Alcotest.(check (result unit string)) "valid" (Ok ()) (Sta.Design.validate d);
+        Alcotest.(check int) "one gate" 1 (Array.length d.Sta.Design.instances));
+    case "unknown cell rejected" (fun () ->
+        let path =
+          tmp_write "pi in 0 0 0 100 20\npo out 1 1 2000 30 0.8\ninst g0 bogus 2 2\n"
+        in
+        let r = match Sta.Netfmt.read path with exception Sta.Netfmt.Parse _ -> true | _ -> false in
+        Sys.remove path;
+        Alcotest.(check bool) "raises" true r);
+    case "unknown reference rejected" (fun () ->
+        let path = tmp_write "pi in 0 0 0 100 20\nnet n0 pi:in g9:0\n" in
+        let r = match Sta.Netfmt.read path with exception Sta.Netfmt.Parse _ -> true | _ -> false in
+        Sys.remove path;
+        Alcotest.(check bool) "raises" true r);
+    case "invalid design rejected with location" (fun () ->
+        (* a PI that drives nothing *)
+        let path = tmp_write "pi in 0 0 0 100 20\npo out 1 1 2000 30 0.8\n" in
+        let r =
+          match Sta.Netfmt.read path with
+          | exception Sta.Netfmt.Parse msg -> String.length msg > 0
+          | _ -> false
+        in
+        Sys.remove path;
+        Alcotest.(check bool) "raises parse" true r);
+    case "duplicate names rejected" (fun () ->
+        let path = tmp_write "pi in 0 0 0 100 20\npi in 1 1 0 100 20\n" in
+        let r = match Sta.Netfmt.read path with exception Sta.Netfmt.Parse _ -> true | _ -> false in
+        Sys.remove path;
+        Alcotest.(check bool) "raises" true r);
+  ]
+
+
+(* appended: cell library files *)
+let cellfile_tests =
+  [
+    case "round trip preserves the library" (fun () ->
+        let path = Filename.temp_file "cells" ".lib" in
+        Sta.Cellfile.write path Sta.Cell.library;
+        let cells = Sta.Cellfile.read path in
+        Sys.remove path;
+        Alcotest.(check int) "count" (List.length Sta.Cell.library) (List.length cells);
+        List.iter2
+          (fun (a : Sta.Cell.t) (b : Sta.Cell.t) ->
+            Alcotest.(check string) "name" a.Sta.Cell.cname b.Sta.Cell.cname;
+            Alcotest.(check int) "inputs" a.Sta.Cell.n_inputs b.Sta.Cell.n_inputs;
+            feq_rel "c_in" ~eps:1e-6 a.Sta.Cell.c_in b.Sta.Cell.c_in;
+            feq_rel "r_out" ~eps:1e-6 a.Sta.Cell.r_out b.Sta.Cell.r_out)
+          Sta.Cell.library cells);
+    case "design file resolves against a custom library" (fun () ->
+        let cpath = tmp_write "cell myinv 1 5.0 300 20 0.75\n" in
+        let cells = Sta.Cellfile.read cpath in
+        Sys.remove cpath;
+        let dpath =
+          tmp_write
+            "pi in 0 0 0 100 20\n\
+             po out 4000 0 2000 30 0.8\n\
+             inst g0 myinv 2000 0\n\
+             net n0 pi:in g0:0\n\
+             net n1 g0 po:out\n"
+        in
+        let d = Sta.Netfmt.read ~cells dpath in
+        Sys.remove dpath;
+        Alcotest.(check string) "cell used" "myinv"
+          d.Sta.Design.instances.(0).Sta.Design.cell.Sta.Cell.cname;
+        feq "margin carried" 0.75 d.Sta.Design.instances.(0).Sta.Design.cell.Sta.Cell.nm);
+    case "duplicates and junk rejected" (fun () ->
+        let reject content =
+          let path = tmp_write content in
+          let r =
+            match Sta.Cellfile.read path with exception Sta.Cellfile.Parse _ -> true | _ -> false
+          in
+          Sys.remove path;
+          r
+        in
+        Alcotest.(check bool) "duplicate" true
+          (reject "cell a 1 5 300 20 0.8\ncell a 1 5 300 20 0.8\n");
+        Alcotest.(check bool) "empty" true (reject "# nothing\n");
+        Alcotest.(check bool) "bad number" true (reject "cell a 1 x 300 20 0.8\n");
+        Alcotest.(check bool) "zero resistance" true (reject "cell a 1 5 0 20 0.8\n"));
+  ]
+
+let suites = [ ("sta.netfmt", tests); ("sta.cellfile", cellfile_tests) ]

@@ -1,0 +1,85 @@
+open Helpers
+module T = Rctree.Tree
+
+let buf = Tech.Lib.min_resistance lib
+
+let workload_tree_gen =
+  QCheck2.Gen.(
+    map
+      (fun seed ->
+        let cfg = { Workload.default_config with nets = 1; seed } in
+        match Workload.trees process (Workload.generate cfg) with
+        | [ (_, t) ] -> t
+        | _ -> assert false)
+      small_int)
+
+let tests =
+  [
+    case "deck probes every stage leaf" (fun () ->
+        let t = Fixtures.balanced process ~levels:2 ~trunk_len:2e-3 in
+        let cfg = Noisesim.Deck.default_config process in
+        let deck = Noisesim.Deck.of_stage cfg t ~gate:(T.root t) in
+        Alcotest.(check int) "four sinks probed" 4 (List.length deck.Noisesim.Deck.probes));
+    case "of_stage rejects non-gates" (fun () ->
+        let t = Fixtures.balanced process ~levels:1 ~trunk_len:1e-3 in
+        let cfg = Noisesim.Deck.default_config process in
+        let internal = List.hd (T.internals t) in
+        Alcotest.(check bool) "raises" true
+          (match Noisesim.Deck.of_stage cfg t ~gate:internal with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    qcase ~count:15 "devgan metric upper-bounds simulated peaks" workload_tree_gen (fun t ->
+        let r = Noisesim.Verify.net process t in
+        r.Noisesim.Verify.bound_ok);
+    qcase ~count:10 "bound also holds after buffering" workload_tree_gen (fun t ->
+        match Bufins.Buffopt.optimize Bufins.Buffopt.Buffopt ~lib t with
+        | Some run ->
+            let r = Noisesim.Verify.net process run.Bufins.Buffopt.report.Bufins.Eval.tree in
+            r.Noisesim.Verify.bound_ok && Noisesim.Verify.is_clean r
+        | None -> false);
+    case "simulated peak grows with coupling" (fun () ->
+        let peak lambda =
+          let p = { process with Tech.Process.lambda } in
+          let t = Fixtures.two_pin p ~len:3e-3 in
+          let r = Noisesim.Verify.net p t in
+          (List.hd r.Noisesim.Verify.leaves).Noisesim.Verify.peak
+        in
+        let p03 = peak 0.3 and p07 = peak 0.7 in
+        Alcotest.(check bool) "monotone" true (p07 > p03 && p03 > 0.0));
+    case "no coupling means no noise" (fun () ->
+        let p = { process with Tech.Process.lambda = 0.0 } in
+        let t = Fixtures.two_pin p ~len:3e-3 in
+        let r = Noisesim.Verify.net p t in
+        Alcotest.(check bool) "silent" true
+          ((List.hd r.Noisesim.Verify.leaves).Noisesim.Verify.peak < 1e-6));
+    case "segment count convergence" (fun () ->
+        let t = Fixtures.two_pin process ~len:4e-3 in
+        let peak n_seg =
+          let cfg = { (Noisesim.Deck.default_config process) with Noisesim.Deck.n_seg } in
+          let r = Noisesim.Verify.net ~config:cfg process t in
+          (List.hd r.Noisesim.Verify.leaves).Noisesim.Verify.peak
+        in
+        feq_rel "8 vs 24 segments" ~eps:0.02 (peak 8) (peak 24));
+    case "metric reported alongside peaks" (fun () ->
+        let t = Fixtures.two_pin process ~len:4e-3 in
+        let r = Noisesim.Verify.net process t in
+        let l = List.hd r.Noisesim.Verify.leaves in
+        let metric = match Noise.leaf_noise t with [ (_, n, _) ] -> n | _ -> assert false in
+        feq_rel "same metric" ~eps:1e-9 metric l.Noisesim.Verify.metric);
+    case "violation counting is consistent" (fun () ->
+        let t = Fixtures.two_pin process ~len:8e-3 in
+        let r = Noisesim.Verify.net process t in
+        Alcotest.(check int) "metric violation" 1 r.Noisesim.Verify.metric_violations;
+        Alcotest.(check bool) "sim violation too (8 mm line)" true (r.Noisesim.Verify.sim_violations = 1);
+        let fixed =
+          Rctree.Surgery.apply t
+            [
+              { Rctree.Surgery.node = 1; dist = 2.7e-3; buffer = buf };
+              { Rctree.Surgery.node = 1; dist = 5.4e-3; buffer = buf };
+            ]
+        in
+        let r' = Noisesim.Verify.net process fixed in
+        Alcotest.(check int) "clean after buffering" 0 r'.Noisesim.Verify.sim_violations);
+  ]
+
+let suites = [ ("noisesim", tests) ]

@@ -1,0 +1,129 @@
+open Helpers
+module N = Circuit.Netlist
+module W = Circuit.Waveform
+
+(* series RLC driven by a step, output across the capacitor *)
+let rlc_step ~r ~l ~c =
+  let nl = N.create () in
+  let src = N.fresh nl and mid = N.fresh nl and out = N.fresh nl in
+  N.resistor nl src mid r;
+  N.inductor nl mid out l;
+  N.capacitor nl out N.ground c;
+  N.drive nl src (W.ramp ~t0:0.0 ~t_rise:1e-13 ~v0:0.0 ~v1:1.0);
+  (nl, out)
+
+(* analytic step response of an overdamped series RLC *)
+let overdamped_response ~r ~l ~c t =
+  let alpha = r /. (2.0 *. l) in
+  let w0sq = 1.0 /. (l *. c) in
+  let disc = sqrt ((alpha *. alpha) -. w0sq) in
+  let s1 = -.alpha +. disc and s2 = -.alpha -. disc in
+  1.0 +. ((s2 *. exp (s1 *. t)) -. (s1 *. exp (s2 *. t))) /. (s1 -. s2)
+
+let tests =
+  [
+    case "overdamped rlc matches the analytic response" (fun () ->
+        (* r = 400, l = 1 nH, c = 100 fF: alpha = 2e11 > w0 = 1e11 *)
+        let r = 400.0 and l = 1e-9 and c = 100e-15 in
+        let nl, out = rlc_step ~r ~l ~c in
+        let res =
+          Circuit.Transient.simulate ~record:true nl ~dt:2e-13 ~t_end:3e-10 ~probes:[ out ]
+        in
+        let tr = match res.Circuit.Transient.traces with Some t -> t.(0) | None -> assert false in
+        Array.iteri
+          (fun k t ->
+            if t > 1e-12 then
+              feq ~eps:0.01 (Printf.sprintf "v(%g)" t) (overdamped_response ~r ~l ~c t) tr.(k))
+          res.Circuit.Transient.times);
+    case "underdamped rlc rings past the supply" (fun () ->
+        (* r = 20: alpha = 1e10 << w0 = 1e11: overshoot expected *)
+        let nl, out = rlc_step ~r:20.0 ~l:1e-9 ~c:100e-15 in
+        let res = Circuit.Transient.simulate nl ~dt:2e-13 ~t_end:2e-9 ~probes:[ out ] in
+        Alcotest.(check bool) "overshoot" true (res.Circuit.Transient.peaks.(0) > 1.2));
+    case "inductor is a dc short" (fun () ->
+        let nl = N.create () in
+        let src = N.fresh nl and mid = N.fresh nl and out = N.fresh nl in
+        N.resistor nl src mid 1000.0;
+        N.inductor nl mid out 1e-9;
+        N.resistor nl out N.ground 1000.0;
+        N.drive nl src (W.dc 2.0);
+        let res = Circuit.Transient.simulate nl ~dt:1e-12 ~t_end:2e-11 ~probes:[ mid; out ] in
+        feq ~eps:1e-6 "divider unaffected" 1.0 res.Circuit.Transient.finals.(1);
+        feq ~eps:1e-6 "no drop across L" 1.0 res.Circuit.Transient.finals.(0));
+    case "bad inductance rejected" (fun () ->
+        let nl = N.create () in
+        let a = N.fresh nl in
+        Alcotest.(check bool) "raises" true
+          (match N.inductor nl a N.ground 0.0 with exception Invalid_argument _ -> true | _ -> false));
+    case "devgan metric bounds overdamped rlc coupling" (fun () ->
+        (* the victim line of Fig. 6 with series inductance small enough to
+           stay overdamped: the paper claims the metric still bounds the
+           peak (Section II-B) *)
+        let len = 3e-3 in
+        let tree = Fixtures.two_pin ~r_drv:100.0 process ~len in
+        let metric = match Noise.leaf_noise tree with [ (_, n, _) ] -> n | _ -> assert false in
+        let w = Rctree.Tree.wire_to tree 1 in
+        let slope = Tech.Process.slope process in
+        let n_seg = 8 in
+        let fn = float_of_int n_seg in
+        let nl = N.create () in
+        let agg = N.fresh nl in
+        N.drive nl agg
+          (W.ramp ~t0:0.0 ~t_rise:process.Tech.Process.t_rise ~v0:0.0 ~v1:process.Tech.Process.vdd);
+        let root = N.fresh nl in
+        N.resistor nl root N.ground 100.0;
+        let c_couple = w.Rctree.Tree.cur /. slope /. fn in
+        let c_ground = (w.Rctree.Tree.cap -. (w.Rctree.Tree.cur /. slope)) /. fn in
+        (* 0.05 nH per 375 um segment: heavily overdamped with 30 ohm/seg *)
+        let seg_l = 0.05e-9 in
+        let last =
+          List.fold_left
+            (fun prev _ ->
+              let mid = N.fresh nl and next = N.fresh nl in
+              N.resistor nl prev mid (w.Rctree.Tree.res /. fn);
+              N.inductor nl mid next seg_l;
+              N.capacitor nl next N.ground c_ground;
+              N.capacitor nl next agg c_couple;
+              next)
+            root
+            (List.init n_seg (fun i -> i))
+        in
+        N.capacitor nl last N.ground 20e-15;
+        let res = Circuit.Transient.simulate nl ~dt:2e-12 ~t_end:2e-9 ~probes:[ last ] in
+        let peak = res.Circuit.Transient.peaks.(0) in
+        Alcotest.(check bool) "bounded" true (peak <= metric +. 1e-3);
+        Alcotest.(check bool) "noise present" true (peak > 0.1));
+    case "ac moments see through inductors" (fun () ->
+        (* H(s) of R-L-C lowpass: h0 = 1, h1 = -RC, h2 = (RC)^2 - LC *)
+        let r = 300.0 and l = 2e-9 and c = 50e-15 in
+        let nl = N.create () in
+        let src = N.fresh nl and mid = N.fresh nl and out = N.fresh nl in
+        N.resistor nl src mid r;
+        N.inductor nl mid out l;
+        N.capacitor nl out N.ground c;
+        N.drive nl src (W.dc 1.0);
+        match Circuit.Acmoments.transfer_moments nl ~order:2 ~probes:[ out ] with
+        | [ m ] ->
+            feq_rel "h0" ~eps:1e-9 1.0 m.Circuit.Acmoments.moments.(0).(0);
+            feq_rel "h1" ~eps:1e-9 (-.(r *. c)) m.Circuit.Acmoments.moments.(1).(0);
+            feq_rel "h2" ~eps:1e-9 (((r *. c) ** 2.0) -. (l *. c)) m.Circuit.Acmoments.moments.(2).(0)
+        | _ -> Alcotest.fail "expected one source");
+  ]
+
+
+let deck_tests =
+  [
+    case "inductive decks stay bounded when overdamped" (fun () ->
+        let tree = Fixtures.two_pin ~r_drv:100.0 process ~len:3e-3 in
+        let metric = match Noise.leaf_noise tree with [ (_, n, _) ] -> n | _ -> assert false in
+        let base = Noisesim.Deck.default_config process in
+        (* 0.4 uH/m: realistic on-chip inductance, heavily overdamped *)
+        let cfg = { base with Noisesim.Deck.l_per_m = 0.4e-6 } in
+        let rc = Noisesim.Verify.net ~config:base process tree in
+        let rlc = Noisesim.Verify.net ~config:cfg process tree in
+        let peak r = (List.hd r.Noisesim.Verify.leaves).Noisesim.Verify.peak in
+        Alcotest.(check bool) "metric bounds rlc" true (peak rlc <= metric +. 1e-3);
+        feq_rel "close to the rc peak" ~eps:0.05 (peak rc) (peak rlc));
+  ]
+
+let suites = [ ("circuit.rlc", tests); ("noisesim.rlc", deck_tests) ]

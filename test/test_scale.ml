@@ -1,0 +1,55 @@
+open Helpers
+
+(* Scale smoke tests: the optimizers stay well-behaved on nets an order
+   of magnitude beyond the workload's typical size. *)
+
+let big_tree sinks =
+  let rng = Util.Rng.create 99 in
+  let b = Rctree.Builder.create () in
+  let so = Rctree.Builder.add_source b ~r_drv:100.0 ~d_drv:30e-12 in
+  let attach = ref [ so ] in
+  for k = 0 to sinks - 1 do
+    let parent = List.nth !attach (Util.Rng.int rng (List.length !attach)) in
+    let v =
+      Rctree.Builder.add_internal b ~parent
+        ~wire:(Rctree.Tree.wire_of_length process (Util.Rng.range rng 0.2e-3 1.5e-3))
+        ()
+    in
+    attach := v :: !attach;
+    ignore
+      (Rctree.Builder.add_sink b ~parent:v
+         ~wire:(Rctree.Tree.wire_of_length process (Util.Rng.range rng 0.2e-3 1e-3))
+         ~name:(Printf.sprintf "s%d" k) ~c_sink:15e-15 ~rat:4e-9 ~nm:0.8)
+  done;
+  Rctree.Builder.finish b
+
+let tests =
+  [
+    Alcotest.test_case "alg2 clears a 200-sink tree" `Slow (fun () ->
+        let t = big_tree 200 in
+        let r = Bufins.Alg2.run ~lib t in
+        Alcotest.(check bool) "clean" true
+          (Bufins.Eval.noise_clean (Bufins.Eval.apply t r.Bufins.Alg2.placements)));
+    Alcotest.test_case "alg3 handles a 200-sink segmented tree" `Slow (fun () ->
+        let t = Rctree.Segment.refine (big_tree 200) ~max_len:500e-6 in
+        match Bufins.Alg3.run ~lib t with
+        | Some r ->
+            Alcotest.(check bool) "clean" true
+              (Bufins.Eval.noise_clean (Bufins.Eval.apply t r.Bufins.Dp.placements))
+        | None -> Alcotest.fail "infeasible");
+    Alcotest.test_case "buffopt problem 3 at scale" `Slow (fun () ->
+        let t = big_tree 100 in
+        match Bufins.Buffopt.optimize Bufins.Buffopt.Buffopt ~lib t with
+        | Some r ->
+            Alcotest.(check bool) "clean" true (Bufins.Eval.noise_clean r.Bufins.Buffopt.report)
+        | None -> Alcotest.fail "infeasible");
+    Alcotest.test_case "transient deck with a thousand unknowns" `Slow (fun () ->
+        let t = Fixtures.two_pin process ~len:20e-3 in
+        let cfg = { (Noisesim.Deck.default_config process) with Noisesim.Deck.n_seg = 1000 } in
+        let deck = Noisesim.Deck.of_stage cfg t ~gate:(Rctree.Tree.root t) in
+        match Noisesim.Deck.peak_noise cfg deck with
+        | [ (_, peak) ] -> Alcotest.(check bool) "positive" true (peak > 0.0)
+        | _ -> Alcotest.fail "one probe expected");
+  ]
+
+let suites = [ ("scale", tests) ]

@@ -1,0 +1,121 @@
+open Helpers
+module P = Geometry.Point
+module T = Rctree.Tree
+
+let net_gen =
+  QCheck2.Gen.(
+    map
+      (fun seed ->
+        let rng = Util.Rng.create seed in
+        let seen = Hashtbl.create 16 in
+        let rec fresh () =
+          let p = P.make (Util.Rng.int rng 4_000_000) (Util.Rng.int rng 4_000_000) in
+          if Hashtbl.mem seen p then fresh ()
+          else begin
+            Hashtbl.replace seen p ();
+            p
+          end
+        in
+        let source = fresh () in
+        let n = 1 + Util.Rng.int rng 12 in
+        let pins =
+          List.init n (fun k ->
+              {
+                Steiner.Net.pname = Printf.sprintf "p%d" k;
+                at = fresh ();
+                c_sink = 10e-15;
+                rat = 1e-9;
+                nm = 0.8;
+              })
+        in
+        Steiner.Net.make ~name:"t" ~source ~r_drv:100.0 ~d_drv:30e-12 ~pins)
+      small_int)
+
+let mst_tests =
+  [
+    case "three collinear points" (fun () ->
+        let pts = [| P.make 0 0; P.make 10 0; P.make 4 0 |] in
+        let edges = Steiner.Mst.prim pts in
+        Alcotest.(check int) "n-1 edges" 2 (Array.length edges);
+        Alcotest.(check int) "length" 10 (Steiner.Mst.length pts edges));
+    case "square has mst of three sides" (fun () ->
+        let pts = [| P.make 0 0; P.make 1 0; P.make 1 1; P.make 0 1 |] in
+        Alcotest.(check int) "length" 3 (Steiner.Mst.length pts (Steiner.Mst.prim pts)));
+    qcase ~count:60 "edge count and bounds" net_gen (fun net ->
+        let pts = Steiner.Net.all_points net in
+        let edges = Steiner.Mst.prim pts in
+        let star =
+          Array.fold_left (fun acc p -> acc + P.manhattan pts.(0) p) 0 pts
+        in
+        Array.length edges = Array.length pts - 1 && Steiner.Mst.length pts edges <= star);
+  ]
+
+let build_tests =
+  [
+    qcase ~count:80 "steiner length never exceeds the mst" net_gen (fun net ->
+        let g = Steiner.Build.of_net net in
+        let pts = Steiner.Net.all_points net in
+        Steiner.Build.wirelength g <= Steiner.Mst.length pts (Steiner.Mst.prim pts));
+    qcase ~count:80 "hpwl lower-bounds the steiner tree" net_gen (fun net ->
+        Steiner.Build.wirelength (Steiner.Build.of_net net) >= Steiner.Net.hpwl net);
+    qcase ~count:80 "conversion produces valid trees with all sinks" net_gen (fun net ->
+        let t = Steiner.Build.tree_of_net process net in
+        T.validate t = Ok ()
+        && List.length (T.sinks t) = Steiner.Net.degree net);
+    qcase ~count:60 "tree wirelength matches the graph" net_gen (fun net ->
+        let g = Steiner.Build.of_net net in
+        let t = Steiner.Build.to_rctree process net g in
+        Util.Fx.approx ~rel:1e-9 ~abs:1e-12
+          (T.total_wirelength t)
+          (float_of_int (Steiner.Build.wirelength g) *. 1e-9));
+    qcase ~count:60 "sink names survive" net_gen (fun net ->
+        let t = Steiner.Build.tree_of_net process net in
+        let names =
+          List.filter_map
+            (fun v -> match T.kind t v with T.Sink s -> Some s.T.sname | _ -> None)
+            (T.sinks t)
+          |> List.sort compare
+        in
+        names = List.sort compare (List.map (fun p -> p.Steiner.Net.pname) net.Steiner.Net.pins));
+    case "single pin gives an L route" (fun () ->
+        let net =
+          Steiner.Net.make ~name:"l" ~source:(P.make 0 0) ~r_drv:100.0 ~d_drv:0.0
+            ~pins:[ { Steiner.Net.pname = "a"; at = P.make 300 400; c_sink = 1e-15; rat = 1e-9; nm = 0.8 } ]
+        in
+        Alcotest.(check int) "manhattan length" 700 (Steiner.Build.wirelength (Steiner.Build.of_net net)));
+    case "aligned pins share a spine" (fun () ->
+        let pin name x y = { Steiner.Net.pname = name; at = P.make x y; c_sink = 1e-15; rat = 1e-9; nm = 0.8 } in
+        let net =
+          Steiner.Net.make ~name:"spine" ~source:(P.make 0 0) ~r_drv:100.0 ~d_drv:0.0
+            ~pins:[ pin "a" 100 0; pin "b" 200 0; pin "c" 300 0 ]
+        in
+        Alcotest.(check int) "no duplicated track" 300 (Steiner.Build.wirelength (Steiner.Build.of_net net)));
+    case "t-shape earns a steiner point" (fun () ->
+        (* source left, two pins right-up and right-down: the vertical leg
+           must branch from a steiner point on the horizontal spine *)
+        let pin name x y = { Steiner.Net.pname = name; at = P.make x y; c_sink = 1e-15; rat = 1e-9; nm = 0.8 } in
+        let net =
+          Steiner.Net.make ~name:"t" ~source:(P.make 0 0) ~r_drv:100.0 ~d_drv:0.0
+            ~pins:[ pin "up" 100 50; pin "down" 100 (-50) ]
+        in
+        let wl = Steiner.Build.wirelength (Steiner.Build.of_net net) in
+        Alcotest.(check bool) "shares the trunk" true (wl <= 200);
+        let t = Steiner.Build.tree_of_net process net in
+        Alcotest.(check (result unit string)) "valid" (Ok ()) (T.validate t));
+    case "coincident pins rejected at net creation" (fun () ->
+        let pin name x y = { Steiner.Net.pname = name; at = P.make x y; c_sink = 1e-15; rat = 1e-9; nm = 0.8 } in
+        Alcotest.(check bool) "raises" true
+          (match
+             Steiner.Net.make ~name:"dup" ~source:(P.make 0 0) ~r_drv:1.0 ~d_drv:0.0
+               ~pins:[ pin "a" 5 5; pin "b" 5 5 ]
+           with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    case "empty pin list rejected" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (match Steiner.Net.make ~name:"e" ~source:(P.make 0 0) ~r_drv:1.0 ~d_drv:0.0 ~pins:[] with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+  ]
+
+let suites = [ ("steiner.mst", mst_tests); ("steiner.build", build_tests) ]

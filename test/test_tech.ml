@@ -1,0 +1,67 @@
+open Helpers
+
+let tests =
+  [
+    case "gate delay is linear" (fun () ->
+        let b = Tech.Buffer.make ~name:"x" ~inverting:false ~c_in:1e-15 ~r_b:100.0 ~d_b:10e-12 ~nm:0.8 in
+        feq_rel "delay" ~eps:1e-12 (10e-12 +. (100.0 *. 50e-15)) (Tech.Buffer.gate_delay b ~load:50e-15));
+    case "default library shape" (fun () ->
+        Alcotest.(check int) "eleven buffers" 11 (List.length lib);
+        Alcotest.(check int) "five inverting" 5 (List.length (Tech.Lib.inverting lib));
+        Alcotest.(check int) "six non-inverting" 6 (List.length (Tech.Lib.non_inverting lib)));
+    case "library margins uniform" (fun () ->
+        List.iter (fun (b : Tech.Buffer.t) -> feq "nm" 0.8 b.Tech.Buffer.nm) lib);
+    case "min_resistance picks strongest" (fun () ->
+        Alcotest.(check string) "bufx32" "bufx32" (Tech.Lib.min_resistance lib).Tech.Buffer.name);
+    case "find by name" (fun () ->
+        Alcotest.(check bool) "hit" true (Tech.Lib.find lib "invx4" <> None);
+        Alcotest.(check bool) "miss" true (Tech.Lib.find lib "nope" = None));
+    case "stronger buffers cost more input cap" (fun () ->
+        let sorted =
+          List.sort
+            (fun (a : Tech.Buffer.t) (b : Tech.Buffer.t) -> compare b.Tech.Buffer.r_b a.Tech.Buffer.r_b)
+            (Tech.Lib.non_inverting lib)
+        in
+        let rec increasing = function
+          | (a : Tech.Buffer.t) :: (b :: _ as rest) ->
+              a.Tech.Buffer.c_in < b.Tech.Buffer.c_in && increasing rest
+          | [] | [ _ ] -> true
+        in
+        Alcotest.(check bool) "monotone" true (increasing sorted));
+    case "process defaults match the paper" (fun () ->
+        feq_rel "slope 7.2 V/ns" ~eps:1e-12 7.2e9 (Tech.Process.slope process);
+        feq "vdd" 1.8 process.Tech.Process.vdd;
+        feq "lambda" 0.7 process.Tech.Process.lambda;
+        feq "nm" 0.8 process.Tech.Process.nm_default);
+    case "per-length quantities scale" (fun () ->
+        feq_rel "r" ~eps:1e-12 (2.0 *. Tech.Process.wire_r process 1e-3) (Tech.Process.wire_r process 2e-3);
+        feq_rel "c" ~eps:1e-12 (2.0 *. Tech.Process.wire_c process 1e-3) (Tech.Process.wire_c process 2e-3);
+        feq_rel "i" ~eps:1e-12 (2.0 *. Tech.Process.wire_i process 1e-3) (Tech.Process.wire_i process 2e-3));
+    case "estimation current follows eq. 6" (fun () ->
+        feq_rel "i_per_m" ~eps:1e-12
+          (process.Tech.Process.lambda *. process.Tech.Process.c_per_m *. Tech.Process.slope process)
+          (Tech.Process.i_per_m process));
+    case "nm grid conversion" (fun () ->
+        feq_rel "1 um" ~eps:1e-12 1e-6 (Tech.Process.of_nm 1000));
+    case "copper corner halves-ish the resistance only" (fun () ->
+        let cu = Tech.Process.copper and al = Tech.Process.default in
+        feq_rel "resistance" ~eps:1e-12 (0.55 *. al.Tech.Process.r_per_m) cu.Tech.Process.r_per_m;
+        feq_rel "capacitance unchanged" ~eps:1e-12 al.Tech.Process.c_per_m cu.Tech.Process.c_per_m;
+        (* lower wire resistance stretches Theorem 1's safe span *)
+        let span p =
+          match
+            Noise.max_safe_length ~r_b:36.0 ~i_down:0.0 ~ns:0.8 ~r_per_m:p.Tech.Process.r_per_m
+              ~i_per_m:(Tech.Process.i_per_m p)
+          with
+          | Some l -> l
+          | None -> nan
+        in
+        Alcotest.(check bool) "longer span" true (span cu > span al));
+    case "buffer validation" (fun () ->
+        Alcotest.(check bool) "bad r" true
+          (match Tech.Buffer.make ~name:"x" ~inverting:false ~c_in:1e-15 ~r_b:0.0 ~d_b:0.0 ~nm:0.8 with
+          | exception Assert_failure _ -> true
+          | _ -> false));
+  ]
+
+let suites = [ ("tech", tests) ]

@@ -1,0 +1,194 @@
+open Helpers
+
+let rng_tests =
+  [
+    case "same seed, same stream" (fun () ->
+        let a = Util.Rng.create 42 and b = Util.Rng.create 42 in
+        for _ = 1 to 100 do
+          Alcotest.(check int64) "bits" (Util.Rng.bits64 a) (Util.Rng.bits64 b)
+        done);
+    case "different seeds differ" (fun () ->
+        let a = Util.Rng.create 1 and b = Util.Rng.create 2 in
+        Alcotest.(check bool) "differ" true (Util.Rng.bits64 a <> Util.Rng.bits64 b));
+    case "copy is independent" (fun () ->
+        let a = Util.Rng.create 7 in
+        let b = Util.Rng.copy a in
+        let x = Util.Rng.bits64 a in
+        Alcotest.(check int64) "copy replays" x (Util.Rng.bits64 b));
+    case "split decorrelates" (fun () ->
+        let a = Util.Rng.create 7 in
+        let b = Util.Rng.split a in
+        Alcotest.(check bool) "streams differ" true (Util.Rng.bits64 a <> Util.Rng.bits64 b));
+    qcase "int in range" QCheck2.Gen.(pair small_int (int_range 1 1000)) (fun (seed, n) ->
+        let r = Util.Rng.create seed in
+        let v = Util.Rng.int r n in
+        v >= 0 && v < n);
+    qcase "float in range" QCheck2.Gen.(pair small_int (float_range 1e-6 1e6)) (fun (seed, x) ->
+        let r = Util.Rng.create seed in
+        let v = Util.Rng.float r x in
+        v >= 0.0 && v < x);
+    qcase "range bounds" QCheck2.Gen.(triple small_int (float_range (-100.) 100.) (float_range 0.1 50.))
+      (fun (seed, lo, span) ->
+        let r = Util.Rng.create seed in
+        let v = Util.Rng.range r lo (lo +. span) in
+        v >= lo && v < lo +. span);
+    case "gaussian moments" (fun () ->
+        let r = Util.Rng.create 5 in
+        let s = Util.Stats.create () in
+        for _ = 1 to 20000 do
+          Util.Stats.add s (Util.Rng.gaussian r ~mu:3.0 ~sigma:2.0)
+        done;
+        feq "mean" ~eps:0.1 3.0 (Util.Stats.mean s);
+        feq "sigma" ~eps:0.1 2.0 (Util.Stats.stddev s));
+    case "shuffle permutes" (fun () ->
+        let r = Util.Rng.create 9 in
+        let a = Array.init 50 (fun i -> i) in
+        Util.Rng.shuffle r a;
+        let sorted = Array.copy a in
+        Array.sort compare sorted;
+        Alcotest.(check (array int)) "same multiset" (Array.init 50 (fun i -> i)) sorted);
+    case "choice picks member" (fun () ->
+        let r = Util.Rng.create 11 in
+        for _ = 1 to 50 do
+          let v = Util.Rng.choice r [| 2; 4; 8 |] in
+          Alcotest.(check bool) "member" true (List.mem v [ 2; 4; 8 ])
+        done);
+  ]
+
+let stats_tests =
+  [
+    case "mean/std/min/max" (fun () ->
+        let s = Util.Stats.of_list [ 1.0; 2.0; 3.0; 4.0 ] in
+        feq "mean" 2.5 (Util.Stats.mean s);
+        feq "min" 1.0 (Util.Stats.min s);
+        feq "max" 4.0 (Util.Stats.max s);
+        feq "std" ~eps:1e-6 (sqrt 1.25) (Util.Stats.stddev s);
+        feq "total" 10.0 (Util.Stats.total s);
+        Alcotest.(check int) "count" 4 (Util.Stats.count s));
+    case "empty accumulator" (fun () ->
+        let s = Util.Stats.create () in
+        Alcotest.(check int) "count" 0 (Util.Stats.count s);
+        Alcotest.(check bool) "mean nan" true (Float.is_nan (Util.Stats.mean s)));
+    case "percentile endpoints" (fun () ->
+        let xs = [ 5.0; 1.0; 3.0 ] in
+        feq "p0" 1.0 (Util.Stats.percentile xs 0.0);
+        feq "p100" 5.0 (Util.Stats.percentile xs 100.0);
+        feq "p50" 3.0 (Util.Stats.percentile xs 50.0));
+    case "percentile interpolates" (fun () ->
+        feq "p25" 1.5 (Util.Stats.percentile [ 1.0; 2.0; 3.0 ] 25.0));
+    case "histogram buckets" (fun () ->
+        let h = Util.Stats.histogram ~bounds:[ 1.0; 2.0 ] [ 0.5; 1.0; 1.5; 2.5; 3.0 ] in
+        Alcotest.(check (array int)) "counts" [| 2; 1; 2 |] h);
+    qcase "stddev non-negative" QCheck2.Gen.(list_size (int_range 2 40) (float_range (-1e3) 1e3))
+      (fun xs ->
+        let s = Util.Stats.of_list xs in
+        Util.Stats.stddev s >= 0.0);
+  ]
+
+let fx_tests =
+  [
+    case "approx relative" (fun () ->
+        Alcotest.(check bool) "close" true (Util.Fx.approx 1.0 (1.0 +. 1e-12));
+        Alcotest.(check bool) "far" false (Util.Fx.approx 1.0 1.1));
+    case "approx absolute near zero" (fun () ->
+        Alcotest.(check bool) "tiny" true (Util.Fx.approx 0.0 1e-13));
+    case "clamp" (fun () ->
+        feq "below" 1.0 (Util.Fx.clamp ~lo:1.0 ~hi:2.0 0.0);
+        feq "above" 2.0 (Util.Fx.clamp ~lo:1.0 ~hi:2.0 3.0);
+        feq "inside" 1.5 (Util.Fx.clamp ~lo:1.0 ~hi:2.0 1.5));
+    case "si prefixes" (fun () ->
+        Alcotest.(check string) "pico" "3.200p" (Util.Fx.si 3.2e-12);
+        Alcotest.(check string) "kilo" "2.000k" (Util.Fx.si 2e3);
+        Alcotest.(check string) "zero" "0" (Util.Fx.si 0.0));
+    case "pct" (fun () ->
+        feq "plus" 10.0 (Util.Fx.pct 100.0 110.0);
+        feq "zero base" 0.0 (Util.Fx.pct 0.0 5.0));
+  ]
+
+let ftab_tests =
+  [
+    case "render contains cells" (fun () ->
+        let t = Util.Ftab.create ~title:"T" ~headers:[ "a"; "bb" ] in
+        Util.Ftab.add_row t [ "x"; "y" ];
+        let s = Util.Ftab.render t in
+        Alcotest.(check bool) "title" true (String.length s > 0 && s.[0] = 'T');
+        Alcotest.(check bool) "has x" true (String.index_opt s 'x' <> None);
+        Alcotest.(check bool) "has header" true (String.index_opt s 'b' <> None));
+    case "rows align" (fun () ->
+        let t = Util.Ftab.create ~title:"T" ~headers:[ "col" ] in
+        Util.Ftab.add_row t [ "longvalue" ];
+        Util.Ftab.add_row t [ "s" ];
+        let lines = String.split_on_char '\n' (Util.Ftab.render t) in
+        let widths = List.filter_map (fun l -> if l <> "" && l.[0] = '|' then Some (String.length l) else None) lines in
+        match widths with
+        | w :: rest -> List.iter (fun w' -> Alcotest.(check int) "width" w w') rest
+        | [] -> Alcotest.fail "no rows");
+  ]
+
+
+(* appended: dominance-pruning properties for the shared candidate ops *)
+let candidate_tests =
+  let mk c q =
+    {
+      Bufins.Candidate.c;
+      q;
+      i = 0.0;
+      ns = 1.0;
+      parity = 0;
+      count = 0;
+      sol = [];
+      sizes = [];
+    }
+  in
+  let gen =
+    QCheck2.Gen.(
+      list_size (int_range 1 30)
+        (map (fun (c, q) -> mk c q) (pair (float_range 1e-15 1e-12) (float_range 0.0 1e-9))))
+  in
+  [
+    qcase ~count:80 "prune keeps only the pareto front" gen (fun cands ->
+        let kept = Bufins.Candidate.prune ~within:Bufins.Candidate.dominates cands in
+        (* no survivor dominated by another survivor *)
+        List.for_all
+          (fun a -> List.for_all (fun b -> a == b || not (Bufins.Candidate.dominates a b)) kept)
+          kept
+        &&
+        (* nothing dropped that wasn't dominated by a survivor *)
+        List.for_all
+          (fun dropped ->
+            List.memq dropped kept
+            || List.exists (fun k -> Bufins.Candidate.dominates k dropped) kept)
+          cands);
+    qcase ~count:80 "prune is idempotent" gen (fun cands ->
+        let once = Bufins.Candidate.prune ~within:Bufins.Candidate.dominates cands in
+        let twice = Bufins.Candidate.prune ~within:Bufins.Candidate.dominates once in
+        List.length once = List.length twice);
+    case "merge adds loads and takes worst slacks" (fun () ->
+        let a = mk 1e-15 5e-10 and b = mk 2e-15 3e-10 in
+        let m = Bufins.Candidate.merge a b in
+        feq_rel "c" ~eps:1e-12 3e-15 m.Bufins.Candidate.c;
+        feq_rel "q" ~eps:1e-12 3e-10 m.Bufins.Candidate.q);
+    case "wire step matches eq. 2 and eq. 8" (fun () ->
+        let w = Rctree.Tree.make_wire ~length:1e-3 ~res:80.0 ~cap:2e-13 ~cur:1e-3 in
+        let a = { (mk 10e-15 1e-9) with Bufins.Candidate.i = 2e-3; ns = 0.8 } in
+        let r = Bufins.Candidate.add_wire w a in
+        feq_rel "c" ~eps:1e-12 2.1e-13 r.Bufins.Candidate.c;
+        feq_rel "q" ~eps:1e-9 (1e-9 -. (80.0 *. (1e-13 +. 10e-15))) r.Bufins.Candidate.q;
+        feq_rel "i" ~eps:1e-12 3e-3 r.Bufins.Candidate.i;
+        feq_rel "ns" ~eps:1e-9 (0.8 -. (80.0 *. (2e-3 +. 0.5e-3))) r.Bufins.Candidate.ns);
+    case "inverting buffer flips parity" (fun () ->
+        let inv = Tech.Lib.find Tech.Lib.default_library "invx4" |> Option.get in
+        let r = Bufins.Candidate.add_buffer ~at:3 inv (mk 1e-14 1e-9) in
+        Alcotest.(check int) "parity" 1 r.Bufins.Candidate.parity;
+        Alcotest.(check int) "count" 1 r.Bufins.Candidate.count;
+        feq_rel "load reset" ~eps:1e-12 inv.Tech.Buffer.c_in r.Bufins.Candidate.c);
+  ]
+
+let suites =
+  [
+    ("util.rng", rng_tests);
+    ("util.stats", stats_tests);
+    ("util.fx", fx_tests);
+    ("util.ftab", ftab_tests);
+    ("bufins.candidate", candidate_tests);
+  ]

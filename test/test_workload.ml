@@ -1,0 +1,76 @@
+open Helpers
+
+let small_cfg = { Workload.default_config with nets = 40 }
+
+let tests =
+  [
+    case "deterministic in the seed" (fun () ->
+        let a = Workload.generate small_cfg and b = Workload.generate small_cfg in
+        List.iter2
+          (fun (x : Steiner.Net.t) (y : Steiner.Net.t) ->
+            Alcotest.(check string) "name" x.Steiner.Net.nname y.Steiner.Net.nname;
+            Alcotest.(check int) "degree" (Steiner.Net.degree x) (Steiner.Net.degree y);
+            Alcotest.(check int) "hpwl" (Steiner.Net.hpwl x) (Steiner.Net.hpwl y);
+            feq "r_drv" x.Steiner.Net.r_drv y.Steiner.Net.r_drv)
+          a b);
+    case "different seeds differ" (fun () ->
+        let a = Workload.generate small_cfg in
+        let b = Workload.generate { small_cfg with seed = 2024 } in
+        Alcotest.(check bool) "hpwl differs somewhere" true
+          (List.exists2 (fun x y -> Steiner.Net.hpwl x <> Steiner.Net.hpwl y) a b));
+    case "net count honored" (fun () ->
+        Alcotest.(check int) "40" 40 (List.length (Workload.generate small_cfg)));
+    case "histogram covers every net" (fun () ->
+        let nets = Workload.generate small_cfg in
+        let h = Workload.sink_histogram ~buckets:Workload.default_mix nets in
+        Alcotest.(check int) "total" 40 (List.fold_left (fun a (_, n) -> a + n) 0 h));
+    case "sink counts inside the mix" (fun () ->
+        List.iter
+          (fun net ->
+            let d = Steiner.Net.degree net in
+            Alcotest.(check bool) "1..20" true (d >= 1 && d <= 20))
+          (Workload.generate small_cfg));
+    case "bounding boxes within configured half-perimeter" (fun () ->
+        List.iter
+          (fun net ->
+            Alcotest.(check bool) "hp bound" true
+              (Steiner.Net.hpwl net <= Workload.default_config.Workload.hp_max))
+          (Workload.generate small_cfg));
+    case "sinks are global-distance from the driver" (fun () ->
+        List.iter
+          (fun (net : Steiner.Net.t) ->
+            List.iter
+              (fun (p : Steiner.Net.pin) ->
+                Alcotest.(check bool) "far enough" true
+                  (Geometry.Point.manhattan net.Steiner.Net.source p.Steiner.Net.at
+                   >= Workload.default_config.Workload.hp_min / 4))
+              net.Steiner.Net.pins)
+          (Workload.generate small_cfg));
+    case "noise margins model static and dynamic sinks" (fun () ->
+        let margins =
+          List.concat_map
+            (fun (net : Steiner.Net.t) -> List.map (fun p -> p.Steiner.Net.nm) net.Steiner.Net.pins)
+            (Workload.generate { small_cfg with nets = 120 })
+        in
+        List.iter
+          (fun m -> Alcotest.(check bool) "known margin" true (List.mem m [ 0.8; 0.65; 0.5 ]))
+          margins;
+        Alcotest.(check bool) "both classes occur" true
+          (List.mem 0.8 margins && List.mem 0.5 margins));
+    case "trees build and validate" (fun () ->
+        List.iter
+          (fun (_, t) ->
+            Alcotest.(check (result unit string)) "valid" (Ok ()) (Rctree.Tree.validate t))
+          (Workload.trees process (Workload.generate small_cfg)));
+    case "required arrival times are positive and finite" (fun () ->
+        List.iter
+          (fun (net : Steiner.Net.t) ->
+            List.iter
+              (fun (p : Steiner.Net.pin) ->
+                Alcotest.(check bool) "sane rat" true
+                  (p.Steiner.Net.rat > 0.0 && p.Steiner.Net.rat < 1e-6))
+              net.Steiner.Net.pins)
+          (Workload.generate small_cfg));
+  ]
+
+let suites = [ ("workload", tests) ]
