@@ -1,0 +1,120 @@
+(* DP candidate-engine scaling bench: runs the Van Ginneken / Algorithm 3
+   engine on synthetic trees of 50 / 200 / 800 sinks and emits BENCH_dp.json.
+
+     dune exec bench/dp_scaling.exe             # full run (3 iterations)
+     dune exec bench/dp_scaling.exe -- --smoke  # CI smoke mode (1 iteration)
+
+   The headline run is the 800-sink [Per_count kmax=16] delay-mode DP — the
+   BuffOpt / DelayOpt(k) hot path. Times are Sys.time (CPU seconds), the
+   minimum over iterations. *)
+
+let process = Tech.Process.default
+
+let lib = Tech.Lib.default_library
+
+(* The test suite's scale-tree shape (test/test_scale.ml): a random
+   caterpillar-ish topology, one sink hanging off every internal node. *)
+let big_tree sinks =
+  let rng = Util.Rng.create 99 in
+  let b = Rctree.Builder.create () in
+  let so = Rctree.Builder.add_source b ~r_drv:100.0 ~d_drv:30e-12 in
+  let attach = ref [ so ] in
+  for k = 0 to sinks - 1 do
+    let parent = List.nth !attach (Util.Rng.int rng (List.length !attach)) in
+    let v =
+      Rctree.Builder.add_internal b ~parent
+        ~wire:(Rctree.Tree.wire_of_length process (Util.Rng.range rng 0.2e-3 1.5e-3))
+        ()
+    in
+    attach := v :: !attach;
+    ignore
+      (Rctree.Builder.add_sink b ~parent:v
+         ~wire:(Rctree.Tree.wire_of_length process (Util.Rng.range rng 0.2e-3 1e-3))
+         ~name:(Printf.sprintf "s%d" k) ~c_sink:15e-15 ~rat:4e-9 ~nm:0.8)
+  done;
+  Rctree.Builder.finish b
+
+type run = {
+  name : string;
+  sinks : int;
+  noise : bool;
+  kmax : int option;
+  seconds : float;
+  slack : float;
+  generated : int;
+  pruned : int;
+  peak_width : int;
+}
+
+let time_run ~iters f =
+  let best = ref infinity in
+  let out = ref None in
+  for _ = 1 to iters do
+    let t0 = Sys.time () in
+    let r = f () in
+    let dt = Sys.time () -. t0 in
+    if dt < !best then best := dt;
+    out := Some r
+  done;
+  (!best, Option.get !out)
+
+let scenario ~iters ~sinks ~noise ~kmax =
+  let seg = Rctree.Segment.refine (big_tree sinks) ~max_len:500e-6 in
+  let mode = match kmax with None -> Bufins.Dp.Single | Some k -> Bufins.Dp.Per_count k in
+  let seconds, (outcome : Bufins.Dp.outcome) =
+    time_run ~iters (fun () -> Bufins.Dp.run ~noise ~mode ~lib seg)
+  in
+  let slack = match outcome.Bufins.Dp.best with Some r -> r.Bufins.Dp.slack | None -> nan in
+  {
+    name =
+      Printf.sprintf "%s_%s_%d"
+        (match kmax with None -> "single" | Some k -> Printf.sprintf "per_count_k%d" k)
+        (if noise then "noise" else "delay")
+        sinks;
+    sinks;
+    noise;
+    kmax;
+    seconds;
+    slack;
+    generated = outcome.Bufins.Dp.stats.Bufins.Dp.generated;
+    pruned = outcome.Bufins.Dp.stats.Bufins.Dp.pruned;
+    peak_width = outcome.Bufins.Dp.stats.Bufins.Dp.peak_width;
+  }
+
+let json_of_run r =
+  Printf.sprintf
+    "    {\"name\": \"%s\", \"sinks\": %d, \"noise\": %b, \"kmax\": %s, \"seconds\": %.6f, \
+     \"slack\": %.6e, \"generated\": %d, \"pruned\": %d, \"peak_width\": %d}"
+    r.name r.sinks r.noise
+    (match r.kmax with None -> "null" | Some k -> string_of_int k)
+    r.seconds r.slack r.generated r.pruned r.peak_width
+
+let () =
+  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  let out_path =
+    let rec find i = if i >= Array.length Sys.argv - 1 then "BENCH_dp.json"
+      else if Sys.argv.(i) = "-o" then Sys.argv.(i + 1) else find (i + 1)
+    in
+    find 1
+  in
+  let iters = if smoke then 1 else 3 in
+  let runs =
+    List.concat
+      [
+        (* the headline scaling series: count-indexed delay DP, kmax = 16 *)
+        List.map (fun sinks -> scenario ~iters ~sinks ~noise:false ~kmax:(Some 16)) [ 50; 200; 800 ];
+        (* the noise-constrained engine (Algorithm 3), unbucketed *)
+        List.map (fun sinks -> scenario ~iters ~sinks ~noise:true ~kmax:None) [ 50; 200; 800 ];
+      ]
+  in
+  List.iter
+    (fun r ->
+      Printf.printf "%-24s %10.3f s  slack %+.1f ps  generated %d  pruned %d  peak width %d\n%!"
+        r.name r.seconds (r.slack *. 1e12) r.generated r.pruned r.peak_width)
+    runs;
+  let oc = open_out out_path in
+  Printf.fprintf oc "{\n  \"engine\": \"frontier\",\n  \"smoke\": %b,\n  \"runs\": [\n%s\n  ]\n}\n"
+    smoke
+    (String.concat ",\n" (List.map json_of_run runs));
+  close_out oc;
+  Printf.printf "wrote %s\n" out_path

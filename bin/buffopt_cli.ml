@@ -41,6 +41,9 @@ let run_cmd file algo seg_um kmax simulate =
           1
       | Some r ->
           describe_report "optimized" r.Bufins.Buffopt.report;
+          let s = r.Bufins.Buffopt.stats in
+          Printf.printf "engine: candidates generated=%d pruned=%d peak-frontier=%d\n"
+            s.Bufins.Dp.generated s.Bufins.Dp.pruned s.Bufins.Dp.peak_width;
           List.iter
             (fun (p : Rctree.Surgery.placement) ->
               Printf.printf "  insert %s on the parent wire of node %d, %.1f um above it\n"

@@ -10,21 +10,14 @@ type result = {
 
 let dominates a b = a.i <= b.i && a.ns >= b.ns && a.count <= b.count
 
-let prune cands =
-  let arr = Array.of_list cands in
-  let n = Array.length arr in
-  let dead = Array.make n false in
-  for x = 0 to n - 1 do
-    if not dead.(x) then
-      for y = 0 to n - 1 do
-        if x <> y && (not dead.(y)) && dominates arr.(x) arr.(y) then dead.(y) <- true
-      done
-  done;
-  let out = ref [] in
-  for x = n - 1 downto 0 do
-    if not dead.(x) then out := arr.(x) :: !out
-  done;
-  !out
+(* (i, ns, count) pruning on the shared sorted-frontier substrate: sort by
+   current ascending (the cost), then a linear-sweep prune. *)
+let cmp a b =
+  match Float.compare a.i b.i with
+  | 0 -> ( match Float.compare b.ns a.ns with 0 -> compare a.count b.count | n -> n)
+  | n -> n
+
+let prune cands = fst (Frontier.pareto_dom ~cmp ~cost:(fun c -> c.i) ~dominates cands)
 
 let run ~lib tree =
   let b = Tech.Lib.min_resistance lib in

@@ -14,7 +14,9 @@
 val run : lib:Tech.Buffer.t list -> Rctree.Tree.t -> Dp.result option
 (** Maximize source slack subject to every noise margin; [None] when no
     buffering at this segmenting satisfies noise (Section IV-C's remedy:
-    finer segmenting / richer library — see [Buffopt.optimize]). *)
+    finer segmenting / richer library — see [Buffopt.optimize]). The
+    returned result carries the engine's {!Dp.stats} (candidates
+    generated / pruned, peak frontier width). *)
 
 val by_count : kmax:int -> lib:Tech.Buffer.t list -> Rctree.Tree.t -> Dp.outcome
 (** Noise-constrained best slack per exact buffer count; the substrate

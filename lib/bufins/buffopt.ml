@@ -45,6 +45,7 @@ type run = {
   count : int;
   predicted_slack : float;
   segmented : Rctree.Tree.t;
+  stats : Dp.stats;
 }
 
 let optimize ?(seg_len = 500e-6) ?(kmax = 16) ?(retries = 2) algorithm ~lib tree =
@@ -72,6 +73,7 @@ let optimize ?(seg_len = 500e-6) ?(kmax = 16) ?(retries = 2) algorithm ~lib tree
             count = r.Dp.count;
             predicted_slack = r.Dp.slack;
             segmented = seg;
+            stats = r.Dp.stats;
           }
     | None -> if retries > 0 then attempt (seg_len /. 2.0) (retries - 1) else None
   in
@@ -101,6 +103,7 @@ let optimize_coupled ?(seg_len = 500e-6) ?(kmax = 16) ?(retries = 2) algorithm ~
               count = r.Dp.count;
               predicted_slack = r.Dp.slack;
               segmented = seg;
+              stats = r.Dp.stats;
             },
             buffered )
     | None -> if retries > 0 then attempt (seg_len /. 2.0) (retries - 1) else None

@@ -34,6 +34,7 @@ type run = {
   count : int;
   predicted_slack : float;  (** the DP's own slack *)
   segmented : Rctree.Tree.t;  (** the tree the optimizer actually ran on *)
+  stats : Dp.stats;  (** candidate-engine statistics of the winning run *)
 }
 
 val optimize :

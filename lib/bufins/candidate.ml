@@ -54,20 +54,88 @@ let merge a b =
 
 let dominates a b = a.c <= b.c && a.q >= b.q
 
+let dominates_full a b = a.c <= b.c && a.q >= b.q && a.i <= b.i && a.ns >= b.ns
+
 let dominates_noise a b = a.i <= b.i && a.ns >= b.ns && a.count <= b.count
 
-let prune ~within cands =
-  let arr = Array.of_list cands in
-  let n = Array.length arr in
-  let dead = Array.make n false in
-  for x = 0 to n - 1 do
-    if not dead.(x) then
-      for y = 0 to n - 1 do
-        if x <> y && (not dead.(y)) && within arr.(x) arr.(y) then dead.(y) <- true
-      done
-  done;
-  let out = ref [] in
-  for x = n - 1 downto 0 do
-    if not dead.(x) then out := arr.(x) :: !out
-  done;
-  !out
+let cmp_frontier a b =
+  match Float.compare a.c b.c with
+  | 0 -> (
+      match Float.compare b.q a.q with
+      | 0 -> (
+          match Float.compare a.i b.i with 0 -> Float.compare b.ns a.ns | n -> n)
+      | n -> n)
+  | n -> n
+
+(* Monomorphic fast paths for the DP inner loops. These are the
+   {!Frontier} sweeps and the Van Ginneken merge walk instantiated at
+   [t] with direct field access — without flambda the generic versions
+   pay an indirect call per element, which dominates the engine's run
+   time. Property tests pin them against the generic versions. *)
+
+let sweep_delay l =
+  let dropped = ref 0 in
+  (* input sorted by cmp_frontier; kept is newest-first *)
+  let rec go kept = function
+    | [] -> (List.rev kept, !dropped)
+    | x :: rest -> (
+        match kept with
+        | k :: tl when k.c = x.c && k.q <= x.q -> (
+            (* x retro-dominates the newest survivor (equal load) *)
+            incr dropped;
+            match tl with
+            | k2 :: _ when k2.q >= x.q ->
+                incr dropped;
+                go tl rest
+            | _ -> go (x :: tl) rest)
+        | k :: _ when k.q >= x.q ->
+            incr dropped;
+            go kept rest
+        | _ -> go (x :: kept) rest)
+  in
+  go [] l
+
+let sweep_noise l =
+  let dropped = ref 0 in
+  let rec dominated x = function
+    | [] -> false
+    | k :: tl -> dominates_full k x || dominated x tl
+  in
+  (* equal-load survivors sit at the front of the (reversed) kept list;
+     x may retro-dominate some of them *)
+  let rec strip_ties x kept =
+    match kept with
+    | k :: tl when k.c = x.c ->
+        let tl = strip_ties x tl in
+        if dominates_full x k then begin
+          incr dropped;
+          tl
+        end
+        else k :: tl
+    | _ -> kept
+  in
+  let rec go kept = function
+    | [] -> (List.rev kept, !dropped)
+    | x :: rest ->
+        if dominated x kept then begin
+          incr dropped;
+          go kept rest
+        end
+        else go (x :: strip_ties x kept) rest
+  in
+  go [] l
+
+let merge_delay l r =
+  (* both inputs sorted by cmp_frontier (load ascending, so slack
+     ascending along a pruned frontier); advance the lower-slack side —
+     the classic linear merge. Returns the pairing count for stats. *)
+  let rec go n acc l r =
+    match (l, r) with
+    | [], _ | _, [] -> (List.rev acc, n)
+    | a :: ltl, b :: rtl ->
+        let acc = merge a b :: acc in
+        if a.q < b.q then go (n + 1) acc ltl r
+        else if b.q < a.q then go (n + 1) acc l rtl
+        else go (n + 1) acc ltl rtl
+  in
+  go 0 [] l r

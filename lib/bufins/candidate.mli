@@ -47,17 +47,47 @@ val merge : t -> t -> t
 
 val dominates : t -> t -> bool
 (** [dominates a b]: [a] is at least as good as [b] on load and slack
-    ([a.c <= b.c] and [a.q >= b.q]); used by the (c,q) pruning of
-    Van Ginneken / Algorithm 3 (Theorem 5 proves noise fields may be
-    ignored). Parity and (when bucketed) count must match — callers group
-    before pruning. *)
+    ([a.c <= b.c] and [a.q >= b.q]); the delay-mode (Van Ginneken)
+    pruning relation. Parity and (when bucketed) count must match —
+    callers group before pruning. *)
+
+val dominates_full : t -> t -> bool
+(** [dominates] strengthened with the noise coordinates
+    ([a.i <= b.i] and [a.ns >= b.ns]): the noise-mode (Algorithm 3)
+    pruning relation. Every upstream operation — wire, buffer, merge,
+    driver — is monotone in each of the four coordinates, so dropping
+    only fully-dominated candidates is lossless; pruning on (c, q) alone
+    (Theorem 5) is safe only under the theorem's single-buffer
+    assumptions and can otherwise discard the lone candidate whose noise
+    slack survives the remaining upstream wires. *)
 
 val dominates_noise : t -> t -> bool
 (** Algorithm 2 dominance: [a.i <= b.i], [a.ns >= b.ns] and
     [a.count <= b.count] (the count guard makes the minimum-buffer
     selection safe). *)
 
-val prune : within:(t -> t -> bool) -> t list -> t list
-(** Remove every candidate dominated by another (keeping one of equals);
-    [within] is the dominance relation. Quadratic; candidate lists are
-    small after pruning. *)
+val cmp_frontier : t -> t -> int
+(** The frontier order: load ascending, then slack descending, current
+    ascending, noise slack descending — the sort {!Frontier.sweep_dom}
+    requires for {!dominates_full} (any dominator sorts no later than
+    the candidate it dominates, up to equal-cost ties). *)
+
+(** {2 Monomorphic fast paths}
+
+    The {!Frontier} sweeps and merge instantiated at [t] with direct
+    field access; behaviorally identical to the generic versions (the
+    test suite checks this by property), but free of the per-element
+    indirect calls the DP inner loops cannot afford without flambda. *)
+
+val sweep_delay : t list -> t list * int
+(** [Frontier.sweep2 ~cost:c ~value:q] on a [cmp_frontier]-sorted list:
+    the delay-mode (load, slack) staircase. Returns (kept, dropped). *)
+
+val sweep_noise : t list -> t list * int
+(** [Frontier.sweep_dom ~cost:c ~dominates:dominates_full] on a
+    [cmp_frontier]-sorted list: the noise-mode 4D sweep. *)
+
+val merge_delay : t list -> t list -> t list * int
+(** [Frontier.merge2 ~value:q ~join:merge] on two sorted frontiers: the
+    Van Ginneken linear branch-merge walk. Returns the pairings and
+    their count (for the generated-candidates statistic). *)

@@ -1,23 +1,31 @@
 module T = Rctree.Tree
 module C = Candidate
+module F = Frontier
 
 type mode = Single | Per_count of int
+
+type stats = { generated : int; pruned : int; peak_width : int }
 
 type result = {
   slack : float;
   placements : Rctree.Surgery.placement list;
   sizes : (int * float) list;
   count : int;
-  candidates_seen : int;
+  stats : stats;
 }
 
-type outcome = { best : result option; by_count : result option array; seen : int }
+type outcome = { best : result option; by_count : result option array; stats : stats }
 
-(* Candidate sets are lists grouped by (parity, bucket); bucket is the
-   buffer count in Per_count mode and 0 in Single mode. Within a group,
-   lists are kept Pareto-pruned on (c, q) and sorted by increasing load
-   (hence increasing slack), the invariant Van Ginneken's linear merge
-   needs. *)
+(* Candidate sets are arrays of frontiers indexed by [2*bucket + parity];
+   bucket is the buffer count in Per_count mode and 0 in Single mode.
+   Every frontier is kept sorted by Candidate.cmp_frontier (load
+   ascending) end-to-end: wires shift whole groups monotonically, the
+   linear merge emits its pairings in load order, and buffer insertions
+   splice in at most one sorted candidate per (group, buffer type).
+   Pruning is therefore a single linear sweep per group — (c, q)
+   staircase in delay mode, full (c, q, i, ns) dominance in noise mode
+   (see Candidate.dominates_full for why delay-mode pruning loses
+   noise-feasible solutions). *)
 
 let ns_eps = 1e-12
 
@@ -26,119 +34,187 @@ let run ?(prune = true) ?(widths = [ 1.0 ]) ?(area_frac = 0.4) ~noise ~mode ~lib
     invalid_arg "Dp.run: widths must be >= 1";
   if lib = [] then invalid_arg "Dp.run: empty buffer library";
   if T.buffer_count tree > 0 then invalid_arg "Dp.run: tree already contains buffers";
-  let kmax = match mode with Single -> max_int | Per_count k -> k in
-  let bucket (a : C.t) = match mode with Single -> 0 | Per_count _ -> a.C.count in
-  let seen = ref 0 in
-  let group cands =
-    let tbl = Hashtbl.create 8 in
-    List.iter
-      (fun (a : C.t) ->
-        let key = (a.C.parity, bucket a) in
-        Hashtbl.replace tbl key (a :: (Option.value ~default:[] (Hashtbl.find_opt tbl key))))
-      cands;
+  let counted, kmax, nbuckets =
+    match mode with
+    | Single -> (false, max_int, 1)
+    | Per_count k -> (true, k, k + 1)
+  in
+  let nslots = 2 * nbuckets in
+  let slot (a : C.t) = (if counted then 2 * a.C.count else 0) + a.C.parity in
+  let generated = ref 0 and pruned = ref 0 and peak_width = ref 0 in
+  let sweep cands =
+    if not prune then cands
+    else begin
+      let kept, dropped = if noise then C.sweep_noise cands else C.sweep_delay cands in
+      pruned := !pruned + dropped;
+      kept
+    end
+  in
+  let drop_noisy cands =
+    if not noise then cands
+    else
+      List.filter
+        (fun (a : C.t) ->
+          a.C.ns >= -.ns_eps
+          ||
+          (incr pruned;
+           false))
+        cands
+  in
+  let note_width tbl =
+    Array.iter
+      (fun group ->
+        let w = List.length group in
+        if w > !peak_width then peak_width := w)
+      tbl
+  in
+  (* Propagate a whole table through the wire below node [at]; group order
+     is preserved because add_wire shifts each coordinate by an amount
+     depending only on earlier sort keys. *)
+  let apply_wire ~at w tbl =
+    Array.map
+      (fun group ->
+        match group with
+        | [] -> []
+        | _ ->
+            let families =
+              if w.T.length <= 0.0 then [ List.map (C.add_wire w) group ]
+              else
+                (* simultaneous wire sizing: each candidate climbs the wire at
+                   every available width (Lillis et al. [18]) *)
+                List.map
+                  (fun width ->
+                    if width = 1.0 then List.map (C.add_wire w) group
+                    else begin
+                      let sized = T.resize_wire w ~width ~area_frac in
+                      List.map
+                        (fun (a : C.t) ->
+                          { (C.add_wire sized a) with C.sizes = (at, width) :: a.C.sizes })
+                        group
+                    end)
+                  widths
+            in
+            List.iter (fun f -> generated := !generated + List.length f) families;
+            let combined =
+              match families with [ f ] -> f | fs -> F.merge_sorted C.cmp_frontier fs
+            in
+            sweep (drop_noisy combined))
+      tbl
+  in
+  (* Join the two child tables of a branch node. Delay mode walks the two
+     frontiers linearly (Van Ginneken); noise mode must consider every
+     pairing — a pairing off the (c, q) frontier can be the only one whose
+     noise slack survives the upstream wires. *)
+  let exhaustive = noise && prune in
+  let merge_groups lt rt =
+    let runs = Array.make nslots [] in
+    for sl = 0 to nslots - 1 do
+      match lt.(sl) with
+      | [] -> ()
+      | lgroup ->
+          let p = sl land 1 and kl = sl asr 1 in
+          for kr = 0 to nbuckets - 1 do
+            if kl + kr <= kmax then begin
+              match rt.((2 * kr) + p) with
+              | [] -> ()
+              | rgroup ->
+                  let pairs, n =
+                    if exhaustive then begin
+                      let ps = F.cross ~join:C.merge lgroup rgroup in
+                      (ps, List.length ps)
+                    end
+                    else C.merge_delay lgroup rgroup
+                  in
+                  generated := !generated + n;
+                  let target = (if counted then 2 * (kl + kr) else 0) + p in
+                  runs.(target) <- pairs :: runs.(target)
+            end
+          done
+    done;
+    Array.map
+      (fun rs ->
+        match rs with
+        | [] -> []
+        | _ ->
+            let combined =
+              if exhaustive then List.sort C.cmp_frontier (List.concat rs)
+              else F.merge_sorted C.cmp_frontier rs
+            in
+            sweep combined)
+      runs
+  in
+  (* Step 5 (Figs. 5 and 11): buffer insertions at a feasible node. All
+     insertions of one buffer type into one group share their load (c_in),
+     current (0) and noise slack (the buffer's own margin) — only the
+     resulting slack differs — so a single scan for the best-slack eligible
+     candidate per (group, type) materializes the one insertion that can
+     survive pruning. In noise mode a buffer is never attached to a
+     candidate it would make noisy; the unbuffered noise frontier itself
+     stays in the group, so a quieter-but-slower candidate survives for
+     upstream wires to consume. *)
+  let insert_buffers v tbl =
+    let additions = Array.make nslots [] in
+    Array.iteri
+      (fun sl group ->
+        match group with
+        | [] -> ()
+        | _ ->
+            (* the slot-level bucket check covers per-candidate count
+               eligibility: a counted group holds one exact count *)
+            if sl asr 1 < kmax then
+              List.iter
+                (fun (b : Tech.Buffer.t) ->
+                  let r_b = b.Tech.Buffer.r_b in
+                  let rec scan best best_s = function
+                    | [] -> best
+                    | (a : C.t) :: tl ->
+                        if noise && not (C.noise_ok ~r_gate:r_b a) then
+                          scan best best_s tl
+                        else
+                          let s = a.C.q -. Tech.Buffer.gate_delay b ~load:a.C.c in
+                          if s > best_s then scan (Some a) s tl else scan best best_s tl
+                  in
+                  match scan None neg_infinity group with
+                  | None -> ()
+                  | Some a ->
+                      let cand = C.add_buffer ~at:v b a in
+                      incr generated;
+                      let target = slot cand in
+                      additions.(target) <- cand :: additions.(target))
+                lib)
+      tbl;
+    Array.iteri
+      (fun sl cands ->
+        match cands with
+        | [] -> ()
+        | _ ->
+            let cands = List.sort C.cmp_frontier cands in
+            tbl.(sl) <- sweep (List.merge C.cmp_frontier tbl.(sl) cands))
+      additions;
     tbl
-  in
-  let normalize cands =
-    let cands = if noise then List.filter (fun (a : C.t) -> a.C.ns >= -.ns_eps) cands else cands in
-    let tbl = group cands in
-    let kept =
-      Hashtbl.fold
-        (fun _ group acc ->
-          let kept = if prune then C.prune ~within:C.dominates group else group in
-          List.rev_append kept acc)
-        tbl []
-      |> List.sort (fun (a : C.t) (b : C.t) ->
-             compare (a.C.parity, bucket a, a.C.c) (b.C.parity, bucket b, b.C.c))
-    in
-    seen := !seen + List.length kept;
-    kept
-  in
-  (* Van Ginneken's linear merge of two (c,q)-Pareto lists (sorted by
-     increasing c, hence increasing q): advance the binding (smaller-q)
-     side. Produces a superset of the Pareto-optimal pairings. *)
-  let rec lmerge acc l r =
-    match (l, r) with
-    | [], _ | _, [] -> acc
-    | (a : C.t) :: ltl, (b : C.t) :: rtl ->
-        let acc = C.merge a b :: acc in
-        if a.C.q < b.C.q then lmerge acc ltl r
-        else if b.C.q < a.C.q then lmerge acc l rtl
-        else lmerge acc ltl rtl
-  in
-  let merge_sets left right =
-    let lt = group left and rt = group right in
-    let out = ref [] in
-    Hashtbl.iter
-      (fun (p, kl) lgroup ->
-        let lgroup = List.sort (fun (a : C.t) b -> compare a.C.c b.C.c) lgroup in
-        Hashtbl.iter
-          (fun (p', kr) rgroup ->
-            if p = p' && (mode = Single || kl + kr <= kmax) then begin
-              let rgroup = List.sort (fun (a : C.t) b -> compare a.C.c b.C.c) rgroup in
-              out := lmerge !out lgroup rgroup
-            end)
-          rt)
-        lt;
-    !out
-  in
-  let insert_buffers v cands =
-    (* Step 5 (Figs. 5 and 11): for each buffer type and group, keep the
-       insertion producing the largest resulting slack; in noise mode a
-       buffer is never attached to a candidate it would make noisy. *)
-    let extra = ref [] in
-    List.iter
-      (fun (b : Tech.Buffer.t) ->
-        let best = Hashtbl.create 8 in
-        List.iter
-          (fun (a : C.t) ->
-            if a.C.count < kmax
-               && ((not noise) || C.noise_ok ~r_gate:b.Tech.Buffer.r_b a)
-            then begin
-              let cand = C.add_buffer ~at:v b a in
-              let key = (a.C.parity, bucket a) in
-              match Hashtbl.find_opt best key with
-              | Some (prev : C.t) -> if cand.C.q > prev.C.q then Hashtbl.replace best key cand
-              | None -> Hashtbl.replace best key cand
-            end)
-          cands;
-        Hashtbl.iter (fun _ c -> extra := c :: !extra) best)
-      lib;
-    List.rev_append !extra cands
   in
   let rec at v =
     match T.kind tree v with
-    | T.Sink s -> [ C.of_sink s ]
+    | T.Sink s ->
+        let tbl = Array.make nslots [] in
+        incr generated;
+        tbl.(0) <- [ C.of_sink s ];
+        tbl
     | T.Buffered _ | T.Source _ -> assert false
     | T.Internal ->
         let base =
           match T.children tree v with
           | [ c ] -> above c
-          | [ cl; cr ] -> merge_sets (above cl) (above cr)
+          | [ cl; cr ] -> merge_groups (above cl) (above cr)
           | _ -> assert false
         in
         let base = if T.feasible tree v then insert_buffers v base else base in
-        normalize base
+        note_width base;
+        base
   and above c =
-    let w = T.wire_to tree c in
-    let cands = at c in
-    let variants =
-      if w.T.length <= 0.0 then List.map (C.add_wire w) cands
-      else
-        (* simultaneous wire sizing: each candidate climbs the wire at
-           every available width (Lillis et al. [18]) *)
-        List.concat_map
-          (fun (a : C.t) ->
-            List.map
-              (fun width ->
-                if width = 1.0 then C.add_wire w a
-                else begin
-                  let sized = T.resize_wire w ~width ~area_frac in
-                  { (C.add_wire sized a) with C.sizes = (c, width) :: a.C.sizes }
-                end)
-              widths)
-          cands
-    in
-    normalize variants
+    let tbl = apply_wire ~at:c (T.wire_to tree c) (at c) in
+    note_width tbl;
+    tbl
   in
   let root = T.root tree in
   let d =
@@ -149,21 +225,23 @@ let run ?(prune = true) ?(widths = [ 1.0 ]) ?(area_frac = 0.4) ~noise ~mode ~lib
   let top =
     match T.children tree root with
     | [ c ] -> above c
-    | [ cl; cr ] -> normalize (merge_sets (above cl) (above cr))
+    | [ cl; cr ] -> merge_groups (above cl) (above cr)
     | _ -> assert false
   in
-  let finals =
-    List.filter_map
-      (fun (a : C.t) ->
-        if a.C.parity <> 0 then None
-        else if noise && not (C.noise_ok ~r_gate:d.T.r_drv a) then None
-        else Some (C.add_driver d a))
-      top
-  in
-  let nbuckets = match mode with Single -> 1 | Per_count k -> k + 1 in
+  let finals = ref [] in
+  Array.iteri
+    (fun sl group ->
+      if sl land 1 = 0 then
+        List.iter
+          (fun (a : C.t) ->
+            if not (noise && not (C.noise_ok ~r_gate:d.T.r_drv a)) then
+              finals := C.add_driver d a :: !finals)
+          group)
+    top;
+  let stats = { generated = !generated; pruned = !pruned; peak_width = !peak_width } in
   let by_count = Array.make nbuckets None in
   let consider (a : C.t) =
-    let idx = match mode with Single -> 0 | Per_count _ -> a.C.count in
+    let idx = if counted then a.C.count else 0 in
     if idx < nbuckets then begin
       let r =
         {
@@ -171,7 +249,7 @@ let run ?(prune = true) ?(widths = [ 1.0 ]) ?(area_frac = 0.4) ~noise ~mode ~lib
           placements = List.rev a.C.sol;
           sizes = a.C.sizes;
           count = a.C.count;
-          candidates_seen = !seen;
+          stats;
         }
       in
       match by_count.(idx) with
@@ -179,7 +257,7 @@ let run ?(prune = true) ?(widths = [ 1.0 ]) ?(area_frac = 0.4) ~noise ~mode ~lib
       | Some _ | None -> by_count.(idx) <- Some r
     end
   in
-  List.iter consider finals;
+  List.iter consider !finals;
   let best =
     Array.fold_left
       (fun acc r ->
@@ -189,4 +267,4 @@ let run ?(prune = true) ?(widths = [ 1.0 ]) ?(area_frac = 0.4) ~noise ~mode ~lib
         | Some a, Some b -> if b.slack > a.slack then r else acc)
       None by_count
   in
-  { best; by_count; seen = !seen }
+  { best; by_count; stats }

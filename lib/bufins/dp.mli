@@ -16,26 +16,44 @@
       parity of inversions below; merges require equal parity and the
       root accepts only parity-0 candidates.
 
-    Candidates are pruned by (load, slack) dominance within a
-    (parity, bucket) group, exactly the paper's pruning (Theorem 5 shows
-    the noise fields need not participate). *)
+    Candidate groups — one per (parity, bucket) — are {!Frontier}s kept
+    sorted by load end-to-end, so pruning is a linear sweep and branch
+    merging the linear Van Ginneken walk. Delay mode prunes on
+    (load, slack) dominance; noise mode prunes on the full
+    (load, slack, current, noise-slack) dominance and merges branch
+    pairings exhaustively, because a candidate or pairing off the
+    (load, slack) frontier can carry the only noise slack that survives
+    the upstream wires (see {!Candidate.dominates_full}). *)
 
 type mode =
   | Single  (** one candidate list per parity; unbounded buffer count *)
   | Per_count of int  (** lists indexed by exact buffer count [0..kmax] *)
+
+type stats = {
+  generated : int;
+      (** candidates materialized before any pruning: sink seeds, wire
+          climbs (one per width), branch-merge pairings and buffer
+          insertions (Ablation B) *)
+  pruned : int;
+      (** candidates discarded: dominance sweeps plus noise-mode drops of
+          candidates whose noise slack went negative *)
+  peak_width : int;
+      (** widest single (parity, bucket) frontier observed at any node —
+          the engine's working-set measure *)
+}
 
 type result = {
   slack : float;  (** optimized source slack, eq. (5) *)
   placements : Rctree.Surgery.placement list;
   sizes : (int * float) list;  (** wire-width choices when sizing is enabled *)
   count : int;
-  candidates_seen : int;  (** surviving candidate population, summed over nodes (Ablation B) *)
+  stats : stats;  (** whole-run engine statistics (shared by all results) *)
 }
 
 type outcome = {
   best : result option;  (** highest-slack solution over all counts *)
   by_count : result option array;  (** [Per_count]: best per exact count; [Single]: singleton *)
-  seen : int;
+  stats : stats;
 }
 
 val run :
@@ -53,7 +71,9 @@ val run :
     remedy: segment finer or extend the library; see
     [Buffopt.optimize]). [prune] (default true) disables candidate
     pruning when false — exponential; only for Ablation B on small
-    trees. [widths] (multiples of minimum width, default [[1.]])
-    enables simultaneous wire sizing per {!Rctree.Tree.resize_wire} with
-    the given [area_frac] (default 0.4); chosen widths are reported in
+    trees (the branch merge then falls back to the linear walk in both
+    modes, matching the pruned delay-mode exploration). [widths]
+    (multiples of minimum width, default [[1.]]) enables simultaneous
+    wire sizing per {!Rctree.Tree.resize_wire} with the given
+    [area_frac] (default 0.4); chosen widths are reported in
     [result.sizes] and applied with {!Wiresize.apply_sizes}. *)

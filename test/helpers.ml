@@ -57,6 +57,39 @@ let theorem5_tree rng =
   done;
   Rctree.Builder.finish b
 
+(* Like [theorem5_tree] but with sink margins down to 0.4 V and longer
+   wires: instances where no single library buffer satisfies Theorem 5's
+   assumptions, so (load, slack)-only pruning can discard the lone
+   noise-feasible candidate (the Alg3-vs-brute exactness tests). *)
+let lowmargin_tree rng =
+  let b = Rctree.Builder.create () in
+  let so =
+    Rctree.Builder.add_source b
+      ~r_drv:(Util.Rng.range rng 120.0 300.0)
+      ~d_drv:(Util.Rng.range rng 0.0 50e-12)
+  in
+  let wire () = Rctree.Tree.wire_of_length process (Util.Rng.range rng 0.3e-3 3.0e-3) in
+  let n_sinks = 1 + Util.Rng.int rng 3 in
+  let attach = ref [ so ] in
+  for k = 0 to n_sinks - 1 do
+    let parent = List.nth !attach (Util.Rng.int rng (List.length !attach)) in
+    let parent =
+      if Util.Rng.bool rng then begin
+        let v = Rctree.Builder.add_internal b ~parent ~wire:(wire ()) () in
+        attach := v :: !attach;
+        v
+      end
+      else parent
+    in
+    ignore
+      (Rctree.Builder.add_sink b ~parent ~wire:(wire ())
+         ~name:(Printf.sprintf "s%d" k)
+         ~c_sink:(Util.Rng.range rng 5e-15 40e-15)
+         ~rat:(Util.Rng.range rng 0.3e-9 1.5e-9)
+         ~nm:(Util.Rng.range rng 0.4 0.9))
+  done;
+  Rctree.Builder.finish b
+
 (* Coarse segmenting that keeps brute-force enumeration tractable. *)
 let segment_for_brute tree =
   let seg = Rctree.Segment.refine tree ~max_len:1.5e-3 in

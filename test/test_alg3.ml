@@ -17,6 +17,26 @@ let workload_gen =
         snd (List.hd (Workload.trees process (Workload.generate cfg))))
       small_int)
 
+(* Two non-inverting buffers, neither satisfying Theorem 5's margin
+   assumption against [lowmargin_tree] sinks: a fast low-margin buffer
+   and a slow high-margin one. The optimum often needs the slow buffer
+   even where the fast one wins on slack. *)
+let mixed_lib =
+  [
+    Tech.Buffer.make ~name:"fastlow" ~inverting:false ~c_in:2e-15 ~r_b:100.0 ~d_b:10e-12 ~nm:0.3;
+    Tech.Buffer.make ~name:"slowhigh" ~inverting:false ~c_in:3e-15 ~r_b:120.0 ~d_b:30e-12 ~nm:0.9;
+  ]
+
+let mixed_lib_gen =
+  QCheck2.Gen.(
+    map
+      (fun seed ->
+        let rng = Util.Rng.create seed in
+        let seg = Rctree.Segment.refine (lowmargin_tree rng) ~max_len:1.5e-3 in
+        let feasible = List.filter (T.feasible seg) (T.internals seg) in
+        if List.length feasible <= 8 then Some seg else None)
+      small_int)
+
 let tests =
   [
     qcase ~count:40 "optimal under Theorem 5 assumptions" brute_gen (function
@@ -94,6 +114,37 @@ let tests =
                 Util.Fx.approx ~rel:1e-9 ~abs:1e-16 r.Bufins.Dp.slack report.Bufins.Eval.slack
             | None -> true)
           out.Bufins.Dp.by_count);
+    qcase ~count:60 "exact against brute force for arbitrary libraries" mixed_lib_gen (function
+      | None -> true
+      | Some seg -> (
+          (* no Theorem 5 assumptions: neither buffer's margin is below
+             every sink's. Exactness here needs the full
+             (load, slack, current, noise-slack) dominance pruning — the
+             (load, slack)-only relation discards candidates that are the
+             sole survivors of the upstream wires. *)
+          match
+            (Bufins.Alg3.run ~lib:mixed_lib seg, Bufins.Brute.best_slack ~noise:true ~lib:mixed_lib seg)
+          with
+          | Some r, Some (best, _) -> Util.Fx.approx ~rel:1e-9 ~abs:1e-15 best r.Bufins.Dp.slack
+          | None, None -> true
+          | Some _, None | None, Some _ -> false));
+    case "regression: delay-mode pruning once lost the only noise-feasible solution" (fun () ->
+        (* these instances made the engine report infeasibility while
+           brute force finds a noise-clean buffering: the candidate whose
+           noise slack survives the upstream wires is (load, slack)-
+           dominated and was pruned before the buffer could rescue it *)
+        List.iter
+          (fun seed ->
+            let rng = Util.Rng.create seed in
+            let seg = Rctree.Segment.refine (lowmargin_tree rng) ~max_len:1.5e-3 in
+            match
+              (Bufins.Alg3.run ~lib:mixed_lib seg, Bufins.Brute.best_slack ~noise:true ~lib:mixed_lib seg)
+            with
+            | Some r, Some (best, _) ->
+                feq_rel (Printf.sprintf "seed %d slack" seed) ~eps:1e-9 best r.Bufins.Dp.slack
+            | None, Some _ -> Alcotest.failf "seed %d: DP infeasible but brute succeeds" seed
+            | _, None -> Alcotest.failf "seed %d: instance no longer exercises the bug" seed)
+          [ 0; 1; 2; 3; 4 ]);
     case "finer segmenting can rescue infeasibility" (fun () ->
         let t = Fixtures.two_pin process ~len:12e-3 in
         let coarse = Rctree.Segment.refine t ~max_len:6e-3 in

@@ -108,6 +108,38 @@ let tests =
           (match Bufins.Vangin.run ~lib:[] (Fixtures.two_pin process ~len:1e-3) with
           | exception Invalid_argument _ -> true
           | _ -> false));
+    case "stats counters pinned on a fixed fixture" (fun () ->
+        (* a 4 mm two-pin line at 1 mm segmenting: small enough that the
+           engine's whole candidate history is enumerable by hand. The
+           generated count is pre-prune (sink seeds + wire climbs + merge
+           pairings + buffer insertions); pruned are dominance-sweep and
+           noise drops; their difference is what the old candidates_seen
+           (post-prune survivors) used to blur together. *)
+        let seg = Rctree.Segment.refine (Fixtures.two_pin process ~len:4e-3) ~max_len:1e-3 in
+        let check label ~noise ~mode (g, p, w) =
+          let o = Bufins.Dp.run ~noise ~mode ~lib:single_lib seg in
+          let s = o.Bufins.Dp.stats in
+          Alcotest.(check int) (label ^ " generated") g s.Bufins.Dp.generated;
+          Alcotest.(check int) (label ^ " pruned") p s.Bufins.Dp.pruned;
+          Alcotest.(check int) (label ^ " peak width") w s.Bufins.Dp.peak_width;
+          (* every result carries the same whole-run stats *)
+          match o.Bufins.Dp.best with
+          | Some r -> Alcotest.(check int) (label ^ " via result") g r.Bufins.Dp.stats.Bufins.Dp.generated
+          | None -> Alcotest.fail (label ^ ": expected a solution")
+        in
+        check "delay" ~noise:false ~mode:Bufins.Dp.Single (14, 1, 4);
+        check "noise" ~noise:true ~mode:Bufins.Dp.Single (14, 1, 4);
+        check "per-count" ~noise:false ~mode:(Bufins.Dp.Per_count 4) (21, 0, 3));
+    qcase ~count:40 "generated bounds pruned and the frontier width" brute_gen (function
+      | None -> true
+      | Some seg ->
+          let o = Bufins.Dp.run ~noise:false ~mode:Bufins.Dp.Single ~lib seg in
+          let s = o.Bufins.Dp.stats in
+          s.Bufins.Dp.generated > 0
+          && s.Bufins.Dp.pruned >= 0
+          && s.Bufins.Dp.pruned < s.Bufins.Dp.generated
+          && s.Bufins.Dp.peak_width > 0
+          && s.Bufins.Dp.peak_width <= s.Bufins.Dp.generated);
     case "long line benefits from buffering" (fun () ->
         let t = Rctree.Segment.refine (Fixtures.two_pin process ~len:10e-3) ~max_len:500e-6 in
         let r = Bufins.Vangin.run ~lib t in

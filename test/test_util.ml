@@ -145,24 +145,67 @@ let candidate_tests =
       list_size (int_range 1 30)
         (map (fun (c, q) -> mk c q) (pair (float_range 1e-15 1e-12) (float_range 0.0 1e-9))))
   in
+  (* candidates varying in all four pruning coordinates; coarse grids keep
+     dominance chains and equal-cost ties frequent *)
+  let gen4 =
+    QCheck2.Gen.(
+      list_size (int_range 1 30)
+        (map
+           (fun (c, q, i, ns) ->
+             { (mk (float_of_int c *. 1e-15) (float_of_int q *. 1e-10)) with
+               Bufins.Candidate.i = float_of_int i *. 1e-3;
+               ns = float_of_int ns *. 0.1;
+             })
+           (quad (int_range 1 6) (int_range 0 6) (int_range 0 6) (int_range 0 6))))
+  in
+  let cost (a : Bufins.Candidate.t) = a.Bufins.Candidate.c in
+  let value (a : Bufins.Candidate.t) = a.Bufins.Candidate.q in
   [
-    qcase ~count:80 "prune keeps only the pareto front" gen (fun cands ->
-        let kept = Bufins.Candidate.prune ~within:Bufins.Candidate.dominates cands in
+    qcase ~count:80 "pareto2 keeps only the pareto front" gen (fun cands ->
+        let kept, dropped = Bufins.Frontier.pareto2 ~cost ~value cands in
         (* no survivor dominated by another survivor *)
         List.for_all
           (fun a -> List.for_all (fun b -> a == b || not (Bufins.Candidate.dominates a b)) kept)
           kept
-        &&
         (* nothing dropped that wasn't dominated by a survivor *)
+        && List.for_all
+             (fun d ->
+               List.memq d kept
+               || List.exists (fun k -> Bufins.Candidate.dominates k d) kept)
+             cands
+        && dropped = List.length cands - List.length kept);
+    qcase ~count:80 "pareto2 is idempotent" gen (fun cands ->
+        let once, _ = Bufins.Frontier.pareto2 ~cost ~value cands in
+        let twice, dropped = Bufins.Frontier.pareto2 ~cost ~value once in
+        List.length once = List.length twice && dropped = 0);
+    qcase ~count:80 "specialized sweeps match the generic frontier" gen4 (fun cands ->
+        (* the DP's monomorphic fast paths must be observationally the
+           generic Frontier algorithms *)
+        let sorted = List.sort Bufins.Candidate.cmp_frontier cands in
+        let gd, nd = (Bufins.Frontier.sweep2 ~cost ~value sorted, Bufins.Candidate.sweep_delay sorted) in
+        let gn, nn =
+          ( Bufins.Frontier.sweep_dom ~cost ~dominates:Bufins.Candidate.dominates_full sorted,
+            Bufins.Candidate.sweep_noise sorted )
+        in
+        gd = nd && gn = nn);
+    qcase ~count:80 "specialized merge matches the generic walk" gen (fun cands ->
+        let l = List.sort Bufins.Candidate.cmp_frontier cands in
+        let r = List.rev (List.rev_map (fun a -> { a with Bufins.Candidate.c = a.Bufins.Candidate.c *. 1.5 }) l) in
+        let generic = Bufins.Frontier.merge2 ~value ~join:Bufins.Candidate.merge l r in
+        let fast, n = Bufins.Candidate.merge_delay l r in
+        generic = fast && n = List.length fast);
+    qcase ~count:80 "pareto_dom on full dominance keeps only the 4D front" gen4 (fun cands ->
+        let dom = Bufins.Candidate.dominates_full in
+        let kept, _ =
+          Bufins.Frontier.pareto_dom ~cmp:Bufins.Candidate.cmp_frontier ~cost ~dominates:dom
+            cands
+        in
         List.for_all
-          (fun dropped ->
-            List.memq dropped kept
-            || List.exists (fun k -> Bufins.Candidate.dominates k dropped) kept)
-          cands);
-    qcase ~count:80 "prune is idempotent" gen (fun cands ->
-        let once = Bufins.Candidate.prune ~within:Bufins.Candidate.dominates cands in
-        let twice = Bufins.Candidate.prune ~within:Bufins.Candidate.dominates once in
-        List.length once = List.length twice);
+          (fun a -> List.for_all (fun b -> a == b || not (dom a b)) kept)
+          kept
+        && List.for_all
+             (fun d -> List.memq d kept || List.exists (fun k -> dom k d) kept)
+             cands);
     case "merge adds loads and takes worst slacks" (fun () ->
         let a = mk 1e-15 5e-10 and b = mk 2e-15 3e-10 in
         let m = Bufins.Candidate.merge a b in
