@@ -1,0 +1,96 @@
+(* Batch-engine scaling bench: Engine.optimize (BuffOpt, kmax 16) over the
+   paper's 500-net workload at 1 / 2 / 4 domains, emitting BENCH_batch.json.
+
+     dune exec bench/batch_scaling.exe             # full run: 500 nets, 1/2/4 domains
+     dune exec bench/batch_scaling.exe -- --smoke  # CI smoke: 60 nets, 1/2 domains
+
+   The bench *asserts* the engine's determinism guarantee: the aggregate
+   report (Engine.signature — per-net outcomes merged in job order, timing
+   excluded) must be byte-identical at every domain count; any divergence
+   exits nonzero. Times are Util.Clock wall-clock seconds; speedups are
+   relative to the 1-domain run on the same machine, so they are bounded
+   by the cores actually available. *)
+
+let process = Tech.Process.default
+
+let lib = Tech.Lib.default_library
+
+type run = {
+  domains : int;
+  timing : Engine.timing;
+  ok : int;
+  failed : int;
+  buffers : int;
+}
+
+let json_of_run ~base r =
+  let t = r.timing in
+  Printf.sprintf
+    "    {\"domains\": %d, \"wall_seconds\": %.6f, \"nets_per_s\": %.2f, \
+     \"speedup_vs_1_domain\": %.3f, \"lat_min_s\": %.6f, \"lat_mean_s\": %.6f, \
+     \"lat_max_s\": %.6f, \"ok\": %d, \"failed\": %d, \"buffers\": %d}"
+    r.domains t.Engine.wall_s t.Engine.jobs_per_s
+    (base /. t.Engine.wall_s)
+    t.Engine.lat_min_s t.Engine.lat_mean_s t.Engine.lat_max_s r.ok r.failed
+    r.buffers
+
+let () =
+  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  let out_path =
+    let rec find i =
+      if i >= Array.length Sys.argv - 1 then "BENCH_batch.json"
+      else if Sys.argv.(i) = "-o" then Sys.argv.(i + 1)
+      else find (i + 1)
+    in
+    find 1
+  in
+  let nets = if smoke then 60 else 500 in
+  let seed = 1998 in
+  let domain_counts = if smoke then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let jobs =
+    Workload.trees process (Workload.generate { Workload.default_config with nets; seed })
+  in
+  let runs_and_sigs =
+    List.map
+      (fun domains ->
+        let r =
+          Engine.optimize ~domains ~algorithm:Bufins.Buffopt.Buffopt ~lib jobs
+        in
+        Printf.printf "%d domain(s): %s\n%!" domains (Engine.summary r);
+        ( {
+            domains;
+            timing = r.Engine.timing;
+            ok = r.Engine.ok;
+            failed = r.Engine.failed;
+            buffers = r.Engine.buffers;
+          },
+          Engine.signature r ))
+      domain_counts
+  in
+  (* the determinism guarantee, enforced: identical aggregate at every
+     domain count *)
+  let _, sig1 = List.hd runs_and_sigs in
+  List.iter
+    (fun (r, s) ->
+      if s <> sig1 then begin
+        Printf.eprintf
+          "FAIL: aggregate report at %d domains differs from the 1-domain run\n"
+          r.domains;
+        exit 1
+      end)
+    runs_and_sigs;
+  Printf.printf "aggregate reports identical across {%s} domains (md5 %s)\n"
+    (String.concat ", " (List.map string_of_int domain_counts))
+    (Digest.to_hex (Digest.string sig1));
+  let base = (fst (List.hd runs_and_sigs)).timing.Engine.wall_s in
+  let oc = open_out out_path in
+  Printf.fprintf oc
+    "{\n  \"workload\": {\"nets\": %d, \"seed\": %d},\n  \"smoke\": %b,\n  \
+     \"recommended_domains\": %d,\n  \"aggregate_signature_md5\": \"%s\",\n  \
+     \"units\": \"wall-clock seconds (Util.Clock)\",\n  \"runs\": [\n%s\n  ]\n}\n"
+    nets seed smoke
+    (Engine.Pool.default_domains ())
+    (Digest.to_hex (Digest.string sig1))
+    (String.concat ",\n" (List.map (fun (r, _) -> json_of_run ~base r) runs_and_sigs));
+  close_out oc;
+  Printf.printf "wrote %s\n" out_path

@@ -5,8 +5,9 @@
      dune exec bench/dp_scaling.exe -- --smoke  # CI smoke mode (1 iteration)
 
    The headline run is the 800-sink [Per_count kmax=16] delay-mode DP — the
-   BuffOpt / DelayOpt(k) hot path. Times are Sys.time (CPU seconds), the
-   minimum over iterations. *)
+   BuffOpt / DelayOpt(k) hot path. Times are Util.Clock wall-clock seconds
+   (Sys.time CPU seconds would double-count under parallelism), the minimum
+   over iterations. *)
 
 let process = Tech.Process.default
 
@@ -50,9 +51,7 @@ let time_run ~iters f =
   let best = ref infinity in
   let out = ref None in
   for _ = 1 to iters do
-    let t0 = Sys.time () in
-    let r = f () in
-    let dt = Sys.time () -. t0 in
+    let r, dt = Util.Clock.timed f in
     if dt < !best then best := dt;
     out := Some r
   done;
@@ -83,7 +82,7 @@ let scenario ~iters ~sinks ~noise ~kmax =
 
 let json_of_run r =
   Printf.sprintf
-    "    {\"name\": \"%s\", \"sinks\": %d, \"noise\": %b, \"kmax\": %s, \"seconds\": %.6f, \
+    "    {\"name\": \"%s\", \"sinks\": %d, \"noise\": %b, \"kmax\": %s, \"wall_seconds\": %.6f, \
      \"slack\": %.6e, \"generated\": %d, \"pruned\": %d, \"peak_width\": %d}"
     r.name r.sinks r.noise
     (match r.kmax with None -> "null" | Some k -> string_of_int k)
@@ -109,7 +108,7 @@ let () =
   in
   List.iter
     (fun r ->
-      Printf.printf "%-24s %10.3f s  slack %+.1f ps  generated %d  pruned %d  peak width %d\n%!"
+      Printf.printf "%-24s %10.3f s wall  slack %+.1f ps  generated %d  pruned %d  peak width %d\n%!"
         r.name r.seconds (r.slack *. 1e12) r.generated r.pruned r.peak_width)
     runs;
   let oc = open_out out_path in

@@ -103,6 +103,40 @@ let dot_cmd file out optimize =
   | None -> print_string (Rctree.Dot.render ~name:net.Steiner.Net.nname tree));
   0
 
+let batch_cmd file algo seg_um kmax jobs retries =
+  match algo_of_string algo with
+  | Error (`Msg m) ->
+      prerr_endline m;
+      1
+  | Ok algorithm ->
+      let design = Sta.Netfmt.read file in
+      Printf.printf "design: %s\n" (Sta.Design.stats design);
+      (* one STA pass supplies every net's RATs measured from its driving
+         pin — the same derivation the full flow uses per round *)
+      let sta = Sta.Engine.analyze process design in
+      let jobs_list =
+        List.init (Array.length sta.Sta.Engine.nets) (fun nid ->
+            let nt = sta.Sta.Engine.nets.(nid) in
+            let rats =
+              Array.map
+                (fun (_, r) -> r -. nt.Sta.Engine.source_arrival)
+                nt.Sta.Engine.sink_required
+            in
+            let snet = Sta.Engine.net_to_steiner ~rats design nid in
+            (snet, Steiner.Build.tree_of_net process snet))
+      in
+      let domains = if jobs <= 0 then Engine.Pool.default_domains () else jobs in
+      let r =
+        Engine.optimize ~domains ~retries ~seg_len:(seg_um *. 1e-6) ~kmax ~algorithm ~lib
+          jobs_list
+      in
+      print_endline (Engine.summary r);
+      (match Engine.failed_nets r with
+      | [] -> 0
+      | bad ->
+          List.iter (Printf.eprintf "infeasible net: %s\n") bad;
+          1)
+
 let flow_cmd file iterations cells =
   let cells = Option.map Sta.Cellfile.read cells in
   let design = Sta.Netfmt.read ?cells file in
@@ -143,6 +177,19 @@ let kmax_arg =
 let sim_arg =
   Arg.(value & flag & info [ "simulate" ] ~doc:"Also run the transient noise simulator.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:"Worker domains for batch optimization (0 = one per recommended core).")
+
+let retries_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "retries" ] ~docv:"R" ~doc:"Re-runs of a net whose optimization raised.")
+
 let () =
   let run =
     Cmd.v
@@ -167,6 +214,14 @@ let () =
     Cmd.v
       (Cmd.info "dot" ~doc:"Export the routing tree as Graphviz.")
       Term.(const dot_cmd $ file_arg $ out $ optimize)
+  in
+  let batch =
+    Cmd.v
+      (Cmd.info "batch"
+         ~doc:
+           "Optimize every net of a design file on a domain pool (see buffopt gen-design). \
+            Exits nonzero when any net is infeasible, naming it on stderr.")
+      Term.(const batch_cmd $ file_arg $ algo_arg $ seg_arg $ kmax_arg $ jobs_arg $ retries_arg)
   in
   let flow =
     let iters =
@@ -197,4 +252,4 @@ let () =
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "buffopt" ~doc:"Buffer insertion for noise and delay optimization.")
-          [ run; report; sample; dot; flow; gen_design ]))
+          [ run; report; sample; dot; batch; flow; gen_design ]))

@@ -12,16 +12,17 @@ let kmax = 16
 type bench = {
   nets : (Steiner.Net.t * Rctree.Tree.t) list;
   cfg : Workload.config;
+  jobs : int;  (** worker domains for the batch tables *)
 }
 
-let make_bench ~nets ~seed =
+let make_bench ~nets ~seed ~jobs =
   let cfg = { Workload.default_config with nets; seed } in
-  { nets = Workload.trees process (Workload.generate cfg); cfg }
+  let jobs = if jobs <= 0 then Engine.Pool.default_domains () else jobs in
+  { nets = Workload.trees process (Workload.generate cfg); cfg; jobs }
 
-let timed f =
-  let t0 = Sys.time () in
-  let r = f () in
-  (r, Sys.time () -. t0)
+(* wall-clock seconds (Util.Clock): Sys.time is CPU seconds and
+   double-counts under the batch engine's parallelism *)
+let timed f = Util.Clock.timed f
 
 let ps x = Printf.sprintf "%.1f" (x *. 1e12)
 
@@ -59,19 +60,25 @@ let table2 bench =
   let metric_after = ref 0 and sim_after = ref 0 in
   let bound_violations = ref 0 in
   let total = List.length bench.nets in
-  List.iter
-    (fun (_, tree) ->
-      let seg = Rctree.Segment.refine tree ~max_len:500e-6 in
-      let before = Noisesim.Verify.net process seg in
-      if before.Noisesim.Verify.metric_violations > 0 then incr metric_before;
-      if before.Noisesim.Verify.sim_violations > 0 then incr sim_before;
-      if not before.Noisesim.Verify.bound_ok then incr bound_violations;
-      let r = buffopt_run tree in
-      let after = Noisesim.Verify.net process r.Bufins.Buffopt.report.Bufins.Eval.tree in
-      if after.Noisesim.Verify.metric_violations > 0 then incr metric_after;
-      if after.Noisesim.Verify.sim_violations > 0 then incr sim_after;
-      if not after.Noisesim.Verify.bound_ok then incr bound_violations)
-    bench.nets;
+  let per_net (_, tree) =
+    let seg = Rctree.Segment.refine tree ~max_len:500e-6 in
+    let before = Noisesim.Verify.net process seg in
+    let r = buffopt_run tree in
+    let after = Noisesim.Verify.net process r.Bufins.Buffopt.report.Bufins.Eval.tree in
+    (before, after)
+  in
+  let outcomes, _ = Engine.map ~domains:bench.jobs per_net bench.nets in
+  Array.iter
+    (function
+      | Engine.Done (before, after) ->
+          if before.Noisesim.Verify.metric_violations > 0 then incr metric_before;
+          if before.Noisesim.Verify.sim_violations > 0 then incr sim_before;
+          if not before.Noisesim.Verify.bound_ok then incr bound_violations;
+          if after.Noisesim.Verify.metric_violations > 0 then incr metric_after;
+          if after.Noisesim.Verify.sim_violations > 0 then incr sim_after;
+          if not after.Noisesim.Verify.bound_ok then incr bound_violations
+      | Engine.Failed { error; _ } -> failwith error)
+    outcomes;
   let tab =
     Util.Ftab.create
       ~title:
@@ -105,24 +112,29 @@ let table3 bench =
     Util.Ftab.create
       ~title:"Table III: noise avoidance, BuffOpt vs DelayOpt(k)"
       ~headers:
-        [ "algorithm"; "nets w/ metric viol."; "nets w/ sim viol."; "total buffers"; "nets by count"; "cpu (s)" ]
+        [ "algorithm"; "nets w/ metric viol."; "nets w/ sim viol."; "total buffers"; "nets by count"; "wall (s)" ]
   in
   let eval_algo name algo =
-    let (counts, metric_bad, sim_bad), cpu =
-      timed (fun () ->
-          List.fold_left
-            (fun (counts, mbad, sbad) (_, tree) ->
-              match Bufins.Buffopt.optimize ~kmax algo ~lib tree with
-              | Some r ->
-                  let report = r.Bufins.Buffopt.report in
-                  let m = if Bufins.Eval.noise_clean report then 0 else 1 in
-                  let s =
-                    let v = Noisesim.Verify.net process report.Bufins.Eval.tree in
-                    if v.Noisesim.Verify.sim_violations > 0 then 1 else 0
-                  in
-                  (r.Bufins.Buffopt.count :: counts, mbad + m, sbad + s)
-              | None -> (counts, mbad + 1, sbad + 1))
-            ([], 0, 0) bench.nets)
+    let per_net (_, tree) =
+      match Bufins.Buffopt.optimize ~kmax algo ~lib tree with
+      | Some r ->
+          let report = r.Bufins.Buffopt.report in
+          let m = if Bufins.Eval.noise_clean report then 0 else 1 in
+          let s =
+            let v = Noisesim.Verify.net process report.Bufins.Eval.tree in
+            if v.Noisesim.Verify.sim_violations > 0 then 1 else 0
+          in
+          Some (r.Bufins.Buffopt.count, m, s)
+      | None -> None
+    in
+    let outcomes, t = Engine.map ~domains:bench.jobs per_net bench.nets in
+    let counts, metric_bad, sim_bad =
+      Array.fold_left
+        (fun (counts, mbad, sbad) -> function
+          | Engine.Done (Some (c, m, s)) -> (c :: counts, mbad + m, sbad + s)
+          | Engine.Done None -> (counts, mbad + 1, sbad + 1)
+          | Engine.Failed { error; _ } -> failwith error)
+        ([], 0, 0) outcomes
     in
     let total = List.fold_left ( + ) 0 counts in
     Util.Ftab.add_row tab
@@ -132,7 +144,7 @@ let table3 bench =
         string_of_int sim_bad;
         string_of_int total;
         count_hist counts;
-        Printf.sprintf "%.2f" cpu;
+        Printf.sprintf "%.2f" t.Engine.wall_s;
       ]
   in
   eval_algo "BuffOpt" Bufins.Buffopt.Buffopt;
@@ -151,22 +163,29 @@ let table4 bench =
     let cur = Option.value ~default:[] (Hashtbl.find_opt groups k) in
     Hashtbl.replace groups k ((base, bo, dly) :: cur)
   in
-  List.iter
-    (fun (_, tree) ->
-      let r = buffopt_run tree in
-      let k = r.Bufins.Buffopt.count in
-      if k > 0 then begin
-        let base = (Bufins.Eval.of_tree r.Bufins.Buffopt.segmented).Bufins.Eval.worst_delay in
-        let bo = r.Bufins.Buffopt.report.Bufins.Eval.worst_delay in
-        let by = Bufins.Vangin.by_count ~kmax ~lib r.Bufins.Buffopt.segmented in
-        let dly =
-          match by.(k) with
-          | Some d -> (Bufins.Eval.apply r.Bufins.Buffopt.segmented d.Bufins.Dp.placements).Bufins.Eval.worst_delay
-          | None -> bo
-        in
-        add k (base, bo, dly)
-      end)
-    bench.nets;
+  let per_net (_, tree) =
+    let r = buffopt_run tree in
+    let k = r.Bufins.Buffopt.count in
+    if k = 0 then None
+    else begin
+      let base = (Bufins.Eval.of_tree r.Bufins.Buffopt.segmented).Bufins.Eval.worst_delay in
+      let bo = r.Bufins.Buffopt.report.Bufins.Eval.worst_delay in
+      let by = Bufins.Vangin.by_count ~kmax ~lib r.Bufins.Buffopt.segmented in
+      let dly =
+        match by.(k) with
+        | Some d -> (Bufins.Eval.apply r.Bufins.Buffopt.segmented d.Bufins.Dp.placements).Bufins.Eval.worst_delay
+        | None -> bo
+      in
+      Some (k, (base, bo, dly))
+    end
+  in
+  let outcomes, _ = Engine.map ~domains:bench.jobs per_net bench.nets in
+  Array.iter
+    (function
+      | Engine.Done (Some (k, row)) -> add k row
+      | Engine.Done None -> ()
+      | Engine.Failed { error; _ } -> failwith error)
+    outcomes;
   let tab =
     Util.Ftab.create ~title:"Table IV: average delay reduction (ps) at equal buffer count"
       ~headers:[ "buffers"; "nets"; "BuffOpt red."; "DelayOpt red."; "penalty" ]
@@ -249,7 +268,7 @@ let ablation_seg bench =
   let sample = List.filteri (fun i _ -> i < 60) bench.nets in
   let tab =
     Util.Ftab.create ~title:"Ablation A: segmenting strategy vs quality/run time (Alg. 3, 60 nets)"
-      ~headers:[ "segmenting"; "avg slack (ps)"; "avg buffers"; "candidates"; "cpu (s)" ]
+      ~headers:[ "segmenting"; "avg slack (ps)"; "avg buffers"; "candidates"; "wall (s)" ]
   in
   let row label refine =
     let (slacks, bufs, cands), cpu =
@@ -285,11 +304,11 @@ let ablation_seg bench =
 (* Ablation B: candidate pruning                                       *)
 
 let ablation_prune () =
-  let bench = make_bench ~nets:20 ~seed:7 in
+  let bench = make_bench ~nets:20 ~seed:7 ~jobs:1 in
   let trees = List.map snd bench.nets in
   let tab =
     Util.Ftab.create ~title:"Ablation B: candidate population (20 workload nets)"
-      ~headers:[ "engine"; "generated"; "pruned"; "cpu (s)" ]
+      ~headers:[ "engine"; "generated"; "pruned"; "wall (s)" ]
   in
   let measure name f =
     let (gen, prn), cpu =
@@ -323,7 +342,7 @@ let extension_wiresize bench =
   let tab =
     Util.Ftab.create
       ~title:"Extension: buffer insertion with simultaneous wire sizing (noise-constrained, 60 nets)"
-      ~headers:[ "width menu"; "avg slack (ps)"; "avg buffers"; "wires widened"; "cpu (s)" ]
+      ~headers:[ "width menu"; "avg slack (ps)"; "avg buffers"; "wires widened"; "wall (s)" ]
   in
   List.iter
     (fun (label, widths) ->
@@ -361,7 +380,7 @@ let verifiers bench =
   let tab =
     Util.Ftab.create
       ~title:"Verifier comparison on 100 unbuffered nets (leaves over margin)"
-      ~headers:[ "analysis"; "violating leaves"; "violating nets"; "cpu (s)" ]
+      ~headers:[ "analysis"; "violating leaves"; "violating nets"; "wall (s)" ]
   in
   let row name f =
     let (leaves, nets), cpu =
@@ -393,7 +412,7 @@ let design_flow () =
   let tab =
     Util.Ftab.create ~title:"Full-design mode: STA -> BuffOpt -> STA on random gate netlists"
       ~headers:
-        [ "gates"; "nets"; "wns before"; "wns after"; "tns before (ns)"; "noisy before"; "noisy after"; "buffers"; "cpu (s)" ]
+        [ "gates"; "nets"; "wns before"; "wns after"; "tns before (ns)"; "noisy before"; "noisy after"; "buffers"; "wall (s)" ]
   in
   List.iter
     (fun (gates, seed) ->
@@ -666,10 +685,17 @@ let nets_arg =
 
 let seed_arg = Arg.(value & opt int 1998 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
 
-let with_bench f nets seed = f (make_bench ~nets ~seed)
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:"Worker domains for the batch tables (0 = one per recommended core).")
+
+let with_bench f nets seed jobs = f (make_bench ~nets ~seed ~jobs)
 
 let cmd name doc f =
-  Cmd.v (Cmd.info name ~doc) Term.(const (with_bench f) $ nets_arg $ seed_arg)
+  Cmd.v (Cmd.info name ~doc) Term.(const (with_bench f) $ nets_arg $ seed_arg $ jobs_arg)
 
 let cmd0 name doc f = Cmd.v (Cmd.info name ~doc) Term.(const f $ const ())
 

@@ -1,0 +1,158 @@
+module Pool = Pool
+
+type 'a outcome =
+  | Done of 'a
+  | Failed of { attempts : int; error : string }
+
+type timing = {
+  domains : int;
+  wall_s : float;
+  jobs_per_s : float;
+  lat_min_s : float;
+  lat_mean_s : float;
+  lat_max_s : float;
+}
+
+exception Infeasible of string
+
+let describe = function
+  | Infeasible msg -> msg
+  | e -> Printexc.to_string e
+
+let map ?domains ?chunk ?(retries = 0) f xs =
+  if retries < 0 then invalid_arg "Engine.map: retries < 0";
+  let domains =
+    match domains with Some d -> d | None -> Pool.default_domains ()
+  in
+  let input = Array.of_list xs in
+  let n = Array.length input in
+  let domains = max 1 (min domains (max 1 n)) in
+  let out = Array.make n (Failed { attempts = 0; error = "never ran" }) in
+  let lat = Array.make n 0.0 in
+  let one i =
+    let t0 = Util.Clock.now () in
+    (* one slot per index: outcomes can never race or reorder *)
+    let rec attempt k =
+      match f input.(i) with
+      | v -> Done v
+      | exception Infeasible msg ->
+          (* deterministic verdict: retrying cannot change it *)
+          Failed { attempts = k; error = msg }
+      | exception e ->
+          if k < retries + 1 then attempt (k + 1)
+          else Failed { attempts = k; error = describe e }
+    in
+    out.(i) <- attempt 1;
+    lat.(i) <- Util.Clock.now () -. t0
+  in
+  let t0 = Util.Clock.now () in
+  Pool.parallel_for ~domains ?chunk ~n one;
+  let wall = Util.Clock.now () -. t0 in
+  let lmin = Array.fold_left Float.min infinity lat in
+  let lmax = Array.fold_left Float.max neg_infinity lat in
+  let lsum = Array.fold_left ( +. ) 0.0 lat in
+  ( out,
+    {
+      domains;
+      wall_s = wall;
+      jobs_per_s = (if wall > 0.0 then float_of_int n /. wall else 0.0);
+      lat_min_s = (if n = 0 then 0.0 else lmin);
+      lat_mean_s = (if n = 0 then 0.0 else lsum /. float_of_int n);
+      lat_max_s = (if n = 0 then 0.0 else lmax);
+    } )
+
+(* ------------------------------------------------------------------ *)
+(* Batch BuffOpt                                                       *)
+
+type job = Steiner.Net.t * Rctree.Tree.t
+
+type net_result = {
+  net : string;
+  outcome : Bufins.Buffopt.run outcome;
+}
+
+type report = {
+  results : net_result array;
+  ok : int;
+  failed : int;
+  buffers : int;
+  worst_slack : float;
+  dp : Bufins.Dp.stats;
+  timing : timing;
+}
+
+let optimize ?domains ?chunk ?retries ?seg_len ?kmax ~algorithm ~lib jobs =
+  let one (net, tree) =
+    match Bufins.Buffopt.optimize ?seg_len ?kmax algorithm ~lib tree with
+    | Some r -> r
+    | None ->
+        raise
+          (Infeasible
+             (Printf.sprintf "no noise-feasible solution for net %s"
+                net.Steiner.Net.nname))
+  in
+  let outcomes, timing = map ?domains ?chunk ?retries one jobs in
+  let names = Array.of_list (List.map (fun (n, _) -> n.Steiner.Net.nname) jobs) in
+  let results = Array.mapi (fun i outcome -> { net = names.(i); outcome }) outcomes in
+  (* merge in job order: the aggregate is independent of scheduling *)
+  let ok = ref 0 and failed = ref 0 and buffers = ref 0 in
+  let worst = ref infinity in
+  let gen = ref 0 and pruned = ref 0 and peak = ref 0 in
+  Array.iter
+    (fun { outcome; _ } ->
+      match outcome with
+      | Done (r : Bufins.Buffopt.run) ->
+          incr ok;
+          buffers := !buffers + r.Bufins.Buffopt.count;
+          worst := Float.min !worst r.Bufins.Buffopt.predicted_slack;
+          let s = r.Bufins.Buffopt.stats in
+          gen := !gen + s.Bufins.Dp.generated;
+          pruned := !pruned + s.Bufins.Dp.pruned;
+          peak := max !peak s.Bufins.Dp.peak_width
+      | Failed _ -> incr failed)
+    results;
+  {
+    results;
+    ok = !ok;
+    failed = !failed;
+    buffers = !buffers;
+    worst_slack = !worst;
+    dp = { Bufins.Dp.generated = !gen; pruned = !pruned; peak_width = !peak };
+    timing;
+  }
+
+let failed_nets r =
+  Array.to_list r.results
+  |> List.filter_map (fun { net; outcome } ->
+         match outcome with Failed _ -> Some net | Done _ -> None)
+
+let signature r =
+  let b = Buffer.create (64 * (Array.length r.results + 1)) in
+  Array.iter
+    (fun { net; outcome } ->
+      match outcome with
+      | Done (run : Bufins.Buffopt.run) ->
+          let s = run.Bufins.Buffopt.stats in
+          Printf.bprintf b "%s ok count=%d slack=%.17g dp=%d/%d/%d\n" net
+            run.Bufins.Buffopt.count run.Bufins.Buffopt.predicted_slack
+            s.Bufins.Dp.generated s.Bufins.Dp.pruned s.Bufins.Dp.peak_width
+      | Failed { attempts = _; error } ->
+          (* attempts depend on the retry knob, not on scheduling, but
+             keep the signature about the verdict alone *)
+          Printf.bprintf b "%s FAILED %s\n" net error)
+    r.results;
+  Printf.bprintf b "aggregate ok=%d failed=%d buffers=%d worst=%.17g dp=%d/%d/%d\n"
+    r.ok r.failed r.buffers r.worst_slack r.dp.Bufins.Dp.generated
+    r.dp.Bufins.Dp.pruned r.dp.Bufins.Dp.peak_width;
+  Buffer.contents b
+
+let summary r =
+  let t = r.timing in
+  Printf.sprintf
+    "batch: %d nets optimized, %d infeasible/failed | %d buffers | worst \
+     predicted slack %.1f ps | %d domains, %.3f s wall (%.1f nets/s), per-net \
+     %.2f/%.2f/%.2f ms min/mean/max"
+    r.ok r.failed r.buffers
+    (if r.ok = 0 then nan else r.worst_slack *. 1e12)
+    t.domains t.wall_s t.jobs_per_s (t.lat_min_s *. 1e3) (t.lat_mean_s *. 1e3)
+    (t.lat_max_s *. 1e3)

@@ -1,0 +1,109 @@
+(** Design-scale batch optimization: domain-parallel BuffOpt over whole
+    netlists.
+
+    The paper's evaluation (Section V, Tables II-IV) is a batch
+    workload — BuffOpt over the 500 largest nets of a design. Per-net
+    buffer insertion is embarrassingly parallel, and this module is the
+    layer that exploits it: a fixed pool of domains ({!Pool}) pulls
+    (net, tree) jobs off a chunked work queue and runs the requested
+    {!Bufins.Buffopt.algorithm} on each.
+
+    Guarantees, independent of the domain count and of scheduling:
+
+    - {b Deterministic results.} Job [i]'s outcome depends only on job
+      [i]; results are reported in job order, and the aggregate report
+      is merged in job order, so the same job list produces the same
+      {!signature} at 1 domain and at 64.
+    - {b Fault isolation.} An exception or an infeasible net becomes
+      that job's {!outcome}; it never kills the batch. A [retries] knob
+      re-runs jobs that raised (an {!Infeasible} verdict is
+      deterministic and is never retried).
+    - {b Timing is labeled.} All times are wall-clock seconds from
+      {!Util.Clock}, never [Sys.time] CPU seconds, which double-count
+      under parallelism. Timing lives in its own {!timing} record and
+      is excluded from {!signature}. *)
+
+module Pool = Pool
+
+type 'a outcome =
+  | Done of 'a
+  | Failed of { attempts : int; error : string }
+      (** [attempts] runs were made; the last raised [error] (or was
+          infeasible). *)
+
+type timing = {
+  domains : int;  (** worker domains actually used *)
+  wall_s : float;  (** whole-batch wall-clock seconds *)
+  jobs_per_s : float;
+  lat_min_s : float;  (** fastest single job, wall seconds *)
+  lat_mean_s : float;
+  lat_max_s : float;
+}
+
+val map :
+  ?domains:int ->
+  ?chunk:int ->
+  ?retries:int ->
+  ('a -> 'b) ->
+  'a list ->
+  'b outcome array * timing
+(** The generic engine: apply [f] to every element on a domain pool and
+    return per-element outcomes in input order. [domains] defaults to
+    {!Pool.default_domains}; [chunk] is the work-queue chunk size (see
+    {!Pool.parallel_for}); [retries] (default 0) is how many times a
+    job that raised is re-run before it is recorded as [Failed].
+    [f] must be safe to run concurrently with itself on distinct
+    elements (pure functions and functions over immutable inputs
+    qualify; everything in [Bufins] / [Noisesim] does). *)
+
+exception Infeasible of string
+(** Raised by a job to record a deterministic per-job failure — e.g. no
+    noise-feasible solution for a net. Never retried by {!map}. *)
+
+(** {1 Batch BuffOpt} *)
+
+type job = Steiner.Net.t * Rctree.Tree.t
+
+type net_result = {
+  net : string;  (** net name, from [Steiner.Net.nname] *)
+  outcome : Bufins.Buffopt.run outcome;
+}
+
+type report = {
+  results : net_result array;  (** in job order *)
+  ok : int;
+  failed : int;
+  buffers : int;  (** total inserted over successful nets *)
+  worst_slack : float;  (** min predicted slack over successful nets; [infinity] when none *)
+  dp : Bufins.Dp.stats;  (** candidate-engine rollup over successful nets *)
+  timing : timing;
+}
+
+val optimize :
+  ?domains:int ->
+  ?chunk:int ->
+  ?retries:int ->
+  ?seg_len:float ->
+  ?kmax:int ->
+  algorithm:Bufins.Buffopt.algorithm ->
+  lib:Tech.Buffer.t list ->
+  job list ->
+  report
+(** Run {!Bufins.Buffopt.optimize} on every job. A net with no
+    noise-feasible solution is a [Failed] outcome whose error names the
+    verdict; see {!failed_nets}. [seg_len] / [kmax] are passed through
+    to the per-net optimizer. *)
+
+val failed_nets : report -> string list
+(** Names of the nets whose outcome is [Failed], in job order. *)
+
+val signature : report -> string
+(** A rendering of everything deterministic in the report — per-net
+    outcomes (count, predicted slack, DP stats, error strings) plus the
+    job-order aggregate — with timing excluded. Byte-identical across
+    domain counts for the same job list; the scaling bench and the
+    determinism tests compare these. *)
+
+val summary : report -> string
+(** One human-readable paragraph: net/buffer totals, failures, wall
+    time, throughput, and per-net latency spread. *)

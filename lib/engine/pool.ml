@@ -1,0 +1,37 @@
+let default_domains () = Domain.recommended_domain_count ()
+
+let parallel_for ~domains ?chunk ~n body =
+  if domains < 1 then invalid_arg "Pool.parallel_for: domains < 1";
+  (match chunk with
+  | Some c when c < 1 -> invalid_arg "Pool.parallel_for: chunk < 1"
+  | _ -> ());
+  if n > 0 then begin
+    let domains = min domains n in
+    let chunk =
+      match chunk with Some c -> c | None -> min 32 (max 1 (n / (4 * domains)))
+    in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let start = Atomic.fetch_and_add next chunk in
+        if start < n then begin
+          for i = start to min n (start + chunk) - 1 do
+            body i
+          done;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    if domains = 1 then worker ()
+    else begin
+      let helpers = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+      (* join every helper even if a worker raised, then surface one
+         exception; a domain left unjoined would leak *)
+      let first_exn = ref None in
+      let note e = if !first_exn = None then first_exn := Some e in
+      (try worker () with e -> note e);
+      List.iter (fun d -> try Domain.join d with e -> note e) helpers;
+      match !first_exn with None -> () | Some e -> raise e
+    end
+  end

@@ -1,0 +1,24 @@
+(** A fixed worker pool over [Domain] with a chunked atomic work queue.
+
+    [parallel_for] runs a loop body over [0 .. n-1] on [domains] domains
+    (the calling domain plus [domains - 1] spawned helpers — no domain
+    is ever left running between calls). Work is handed out in
+    contiguous chunks claimed from a single [Atomic] index, so the only
+    synchronization cost is one fetch-and-add per chunk and load
+    imbalance is bounded by one chunk per worker. No external
+    dependencies: stdlib [Domain] and [Atomic] only. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()] — the runtime's estimate of
+    how many domains this machine runs without oversubscription. *)
+
+val parallel_for : domains:int -> ?chunk:int -> n:int -> (int -> unit) -> unit
+(** [parallel_for ~domains ~n body] calls [body i] exactly once for
+    every [i] in [0 .. n-1] and returns when all calls have finished.
+    [domains] is clamped to [1 .. n]; with [domains = 1] the loop runs
+    inline with no spawns. [chunk] (default [max 1 (n / (4 * domains))],
+    capped at 32) is the number of consecutive indices claimed per queue
+    pop. [body] must not raise: an escaping exception kills that
+    worker's remaining chunks; one such exception is re-raised here
+    after every domain has been joined. Raises [Invalid_argument] when
+    [chunk < 1] or [domains < 1]. *)

@@ -1,0 +1,16 @@
+(* OCaml 5.1's Unix module has no clock_gettime, so the monotonic
+   guarantee is grafted onto gettimeofday: a shared high-water mark makes
+   [now] non-decreasing across all domains. *)
+
+let last = Atomic.make neg_infinity
+
+let rec now () =
+  let t = Unix.gettimeofday () in
+  let prev = Atomic.get last in
+  if t >= prev then if Atomic.compare_and_set last prev t then t else now ()
+  else prev
+
+let timed f =
+  let t0 = now () in
+  let r = f () in
+  (r, now () -. t0)

@@ -1,0 +1,16 @@
+(** Wall-clock timing for the experiment harness and the batch engine.
+
+    [Sys.time] measures CPU seconds summed over every domain, which
+    double-counts under parallelism; everything that reports elapsed
+    time uses this module instead. The clock is the system wall clock
+    monotonized across domains: [now] never goes backwards, even if the
+    underlying time-of-day clock is stepped, so durations are always
+    non-negative. *)
+
+val now : unit -> float
+(** Monotonized wall-clock seconds since an arbitrary epoch. Safe to
+    call concurrently from multiple domains. *)
+
+val timed : (unit -> 'a) -> 'a * float
+(** [timed f] runs [f ()] and returns its result with the elapsed wall
+    time in seconds. *)

@@ -1,0 +1,174 @@
+(* The batch engine (lib/engine): pool coverage, scheduling-independent
+   determinism, fault isolation, and the retry knob. *)
+
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+
+let pool_covers_every_index () =
+  let n = 101 in
+  let hits = Array.make n 0 in
+  Engine.Pool.parallel_for ~domains:4 ~chunk:3 ~n (fun i -> hits.(i) <- hits.(i) + 1);
+  Array.iteri
+    (fun i h -> Alcotest.(check int) (Printf.sprintf "index %d hit once" i) 1 h)
+    hits
+
+let pool_edges () =
+  (* n = 0: no calls, no spawn *)
+  Engine.Pool.parallel_for ~domains:4 ~n:0 (fun _ -> Alcotest.fail "body on n=0");
+  (* more domains than work; chunk larger than n *)
+  let hits = Array.make 3 0 in
+  Engine.Pool.parallel_for ~domains:16 ~chunk:100 ~n:3 (fun i -> hits.(i) <- hits.(i) + 1);
+  Alcotest.(check (list int)) "each once" [ 1; 1; 1 ] (Array.to_list hits);
+  Alcotest.check_raises "domains < 1" (Invalid_argument "Pool.parallel_for: domains < 1")
+    (fun () -> Engine.Pool.parallel_for ~domains:0 ~n:1 ignore);
+  Alcotest.check_raises "chunk < 1" (Invalid_argument "Pool.parallel_for: chunk < 1")
+    (fun () -> Engine.Pool.parallel_for ~domains:1 ~chunk:0 ~n:1 ignore)
+
+let pool_propagates_exception () =
+  match Engine.Pool.parallel_for ~domains:3 ~n:50 (fun i -> if i = 17 then failwith "boom")
+  with
+  | () -> Alcotest.fail "expected the worker's exception to surface"
+  | exception Failure m -> Alcotest.(check string) "message" "boom" m
+
+(* ------------------------------------------------------------------ *)
+(* Engine.map: order, determinism, isolation, retries                  *)
+
+let outcome_int =
+  Alcotest.testable
+    (fun ppf -> function
+      | Engine.Done v -> Format.fprintf ppf "Done %d" v
+      | Engine.Failed { attempts; error } ->
+          Format.fprintf ppf "Failed(%d,%s)" attempts error)
+    ( = )
+
+let map_is_order_preserving () =
+  let xs = List.init 257 (fun i -> i) in
+  let f x = x * x in
+  let seq, _ = Engine.map ~domains:1 f xs in
+  let par, _ = Engine.map ~domains:4 ~chunk:2 f xs in
+  Alcotest.(check (array outcome_int))
+    "1 domain = 4 domains, in input order" seq par;
+  Array.iteri
+    (fun i o -> Alcotest.check outcome_int "value" (Engine.Done (i * i)) o)
+    par
+
+let map_isolates_failures () =
+  let xs = List.init 40 (fun i -> i) in
+  let f x = if x mod 13 = 7 then failwith (Printf.sprintf "poisoned %d" x) else x in
+  let out, _ = Engine.map ~domains:4 f xs in
+  Array.iteri
+    (fun i o ->
+      match o with
+      | Engine.Done v -> Alcotest.(check int) "survivor" i v
+      | Engine.Failed { attempts; error } ->
+          Alcotest.(check bool) "only the poisoned indices fail" true (i mod 13 = 7);
+          Alcotest.(check int) "no retries by default" 1 attempts;
+          Alcotest.(check string) "error text" (Printf.sprintf "Failure(\"poisoned %d\")" i) error)
+    out
+
+let map_retries_flaky_jobs () =
+  (* every element fails its first two attempts, then succeeds *)
+  let tries = Array.init 20 (fun _ -> Atomic.make 0) in
+  let f i =
+    if Atomic.fetch_and_add tries.(i) 1 < 2 then failwith "flaky" else i
+  in
+  let out, _ = Engine.map ~domains:4 ~retries:2 f (List.init 20 (fun i -> i)) in
+  Array.iteri (fun i o -> Alcotest.check outcome_int "recovered" (Engine.Done i) o) out;
+  (* with retries exhausted one attempt short, every job fails after 2 runs *)
+  Array.iter (fun a -> Atomic.set a 0) tries;
+  let out, _ = Engine.map ~domains:1 ~retries:1 f (List.init 20 (fun i -> i)) in
+  Array.iter
+    (fun o ->
+      match o with
+      | Engine.Failed { attempts; _ } -> Alcotest.(check int) "attempts" 2 attempts
+      | Engine.Done _ -> Alcotest.fail "should have exhausted retries")
+    out
+
+let map_never_retries_infeasible () =
+  let calls = Atomic.make 0 in
+  let f () =
+    ignore (Atomic.fetch_and_add calls 1);
+    raise (Engine.Infeasible "verdict is deterministic")
+  in
+  let out, _ = Engine.map ~domains:1 ~retries:5 f [ () ] in
+  (match out.(0) with
+  | Engine.Failed { attempts; error } ->
+      Alcotest.(check int) "one attempt" 1 attempts;
+      Alcotest.(check string) "message" "verdict is deterministic" error
+  | Engine.Done _ -> Alcotest.fail "infeasible job cannot succeed");
+  Alcotest.(check int) "called exactly once" 1 (Atomic.get calls)
+
+(* ------------------------------------------------------------------ *)
+(* Batch BuffOpt over workload nets                                    *)
+
+let workload_jobs n seed =
+  Workload.trees process
+    (Workload.generate { Workload.default_config with Workload.nets = n; seed })
+
+let batch_parallel_equals_sequential () =
+  let jobs = workload_jobs 30 1998 in
+  let r1 = Engine.optimize ~domains:1 ~algorithm:Bufins.Buffopt.Buffopt ~lib jobs in
+  let r4 = Engine.optimize ~domains:4 ~chunk:1 ~algorithm:Bufins.Buffopt.Buffopt ~lib jobs in
+  Alcotest.(check string)
+    "byte-identical aggregate signature at 1 vs 4 domains"
+    (Engine.signature r1) (Engine.signature r4);
+  Alcotest.(check int) "ok" r1.Engine.ok r4.Engine.ok;
+  Alcotest.(check int) "buffers" r1.Engine.buffers r4.Engine.buffers;
+  Array.iteri
+    (fun i (nr1 : Engine.net_result) ->
+      let nr4 = r4.Engine.results.(i) in
+      Alcotest.(check string) "net order" nr1.Engine.net nr4.Engine.net;
+      match (nr1.Engine.outcome, nr4.Engine.outcome) with
+      | Engine.Done a, Engine.Done b ->
+          Alcotest.(check int) "count" a.Bufins.Buffopt.count b.Bufins.Buffopt.count;
+          feq "predicted slack" a.Bufins.Buffopt.predicted_slack b.Bufins.Buffopt.predicted_slack;
+          Alcotest.(check bool) "identical placements" true
+            (a.Bufins.Buffopt.placements = b.Bufins.Buffopt.placements)
+      | _ -> Alcotest.fail "outcome kind differs between domain counts")
+    r1.Engine.results
+
+let batch_isolates_poisoned_job () =
+  let jobs = workload_jobs 8 7 in
+  (* poison job 3: a tree that already contains a buffer makes
+     Buffopt.optimize raise Invalid_argument *)
+  let jobs =
+    List.mapi
+      (fun i ((net, tree) as job) ->
+        if i <> 3 then job
+        else
+          let sink = List.hd (Rctree.Tree.sinks tree) in
+          ( net,
+            Rctree.Surgery.apply tree
+              [ { Rctree.Surgery.node = sink; dist = 0.0; buffer = small_buffer } ] ))
+      jobs
+  in
+  let r = Engine.optimize ~domains:3 ~algorithm:Bufins.Buffopt.Buffopt ~lib jobs in
+  Alcotest.(check int) "one failure" 1 r.Engine.failed;
+  Alcotest.(check int) "everything else succeeded" 7 r.Engine.ok;
+  Alcotest.(check (list string))
+    "the failing net is named"
+    [ (fst (List.nth jobs 3)).Steiner.Net.nname ]
+    (Engine.failed_nets r);
+  match r.Engine.results.(3).Engine.outcome with
+  | Engine.Failed { error; _ } ->
+      Alcotest.(check bool) "Invalid_argument surfaced" true
+        (String.length error > 0)
+  | Engine.Done _ -> Alcotest.fail "poisoned job cannot succeed"
+
+let suites =
+  [
+    ( "engine",
+      [
+        case "pool: every index exactly once" pool_covers_every_index;
+        case "pool: edge cases" pool_edges;
+        case "pool: worker exception surfaces after join" pool_propagates_exception;
+        case "map: order-preserving, 1 = 4 domains" map_is_order_preserving;
+        case "map: poisoned elements fail alone" map_isolates_failures;
+        case "map: retry knob" map_retries_flaky_jobs;
+        case "map: Infeasible is never retried" map_never_retries_infeasible;
+        case "batch: 1 vs 4 domains byte-identical" batch_parallel_equals_sequential;
+        case "batch: poisoned job isolated, others succeed" batch_isolates_poisoned_job;
+      ] );
+  ]
