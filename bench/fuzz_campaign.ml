@@ -1,0 +1,74 @@
+(* Fuzz-campaign throughput bench: Check.Fuzz differential campaigns over
+   the Engine.Pool at 1 / 2 / 4 domains, emitting BENCH_fuzz.json.
+
+     dune exec bench/fuzz_campaign.exe             # full run: 1200 instances, 1/2/4 jobs
+     dune exec bench/fuzz_campaign.exe -- --smoke  # CI smoke: 150 instances, 1/2 jobs
+
+   The campaign is healthy (no mutation): any failure means a real
+   optimizer bug and exits nonzero with the minimized counterexample.
+   The per-instance verdict stream is seeded up front from the master
+   seed, so pass/skip counts must be identical at every job count — the
+   bench asserts that too. Rates are instances per wall-clock second
+   (Util.Clock); speedups are relative to the 1-job run on the same
+   machine, so they are bounded by the cores actually available. *)
+
+type run = { jobs : int; report : Check.Fuzz.report }
+
+let json_of_run ~base r =
+  let f = r.report in
+  Printf.sprintf
+    "    {\"jobs\": %d, \"wall_seconds\": %.6f, \"instances_per_s\": %.2f, \
+     \"speedup_vs_1_job\": %.3f, \"tested\": %d, \"passed\": %d, \"skipped\": %d}"
+    r.jobs f.Check.Fuzz.wall_s f.Check.Fuzz.per_s
+    (base /. f.Check.Fuzz.wall_s)
+    f.Check.Fuzz.tested f.Check.Fuzz.passed f.Check.Fuzz.skipped
+
+let () =
+  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  let out_path =
+    let rec find i =
+      if i >= Array.length Sys.argv - 1 then "BENCH_fuzz.json"
+      else if Sys.argv.(i) = "-o" then Sys.argv.(i + 1)
+      else find (i + 1)
+    in
+    find 1
+  in
+  let count = if smoke then 150 else 1200 in
+  let seed = 1998 in
+  let job_counts = if smoke then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let runs =
+    List.map
+      (fun jobs ->
+        let report = Check.Fuzz.campaign ~jobs ~seed ~count () in
+        Printf.printf "%d job(s): %s\n%!" jobs (Check.Fuzz.summary report);
+        if report.Check.Fuzz.failures <> [] then begin
+          List.iter
+            (fun (f : Check.Fuzz.failure) ->
+              Printf.eprintf "FAIL: real counterexample found:\n%s"
+                (Check.Corpus.to_string f.Check.Fuzz.shrunk))
+            report.Check.Fuzz.failures;
+          exit 1
+        end;
+        { jobs; report })
+      job_counts
+  in
+  let verdicts r = (r.report.Check.Fuzz.tested, r.report.Check.Fuzz.passed, r.report.Check.Fuzz.skipped) in
+  let first = List.hd runs in
+  List.iter
+    (fun r ->
+      if verdicts r <> verdicts first then begin
+        Printf.eprintf "FAIL: verdict counts at %d jobs differ from the 1-job run\n" r.jobs;
+        exit 1
+      end)
+    runs;
+  let base = first.report.Check.Fuzz.wall_s in
+  let oc = open_out out_path in
+  Printf.fprintf oc
+    "{\n  \"campaign\": {\"instances\": %d, \"seed\": %d},\n  \"smoke\": %b,\n  \
+     \"recommended_domains\": %d,\n  \"units\": \"wall-clock seconds (Util.Clock)\",\n  \
+     \"runs\": [\n%s\n  ]\n}\n"
+    count seed smoke
+    (Engine.Pool.default_domains ())
+    (String.concat ",\n" (List.map (fun r -> json_of_run ~base r) runs));
+  close_out oc;
+  Printf.printf "wrote %s\n" out_path

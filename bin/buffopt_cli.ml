@@ -157,6 +157,47 @@ let sample_cmd () =
   print_string Steiner.Netfile.sample;
   0
 
+let mutation_of_string = function
+  | "" -> Ok None
+  | "cq-noise-prune" -> Ok (Some Bufins.Dp.Cq_noise_prune)
+  | "no-attach-guard" -> Ok (Some Bufins.Dp.No_attach_guard)
+  | s -> Error ("bad mutation (want cq-noise-prune or no-attach-guard): " ^ s)
+
+let fuzz_cmd seed count jobs minutes corpus mutate replay_path =
+  match mutation_of_string mutate with
+  | Error m ->
+      prerr_endline m;
+      1
+  | Ok mutation -> (
+      match replay_path with
+      | Some path ->
+          let results = Check.Fuzz.replay ?mutation path in
+          let bad = ref 0 in
+          List.iter
+            (fun (file, verdict) ->
+              match verdict with
+              | Check.Diff.Pass -> Printf.printf "PASS %s\n" file
+              | Check.Diff.Skip m -> Printf.printf "SKIP %s (%s)\n" file m
+              | Check.Diff.Fail m ->
+                  incr bad;
+                  Printf.printf "FAIL %s\n  %s\n" file m)
+            results;
+          Printf.printf "replayed %d corpus entries, %d failed\n" (List.length results) !bad;
+          if !bad > 0 then 1 else 0
+      | None ->
+          let r =
+            Check.Fuzz.campaign ?mutation ~jobs ~minutes ?corpus_dir:corpus ~seed ~count ()
+          in
+          print_endline (Check.Fuzz.summary r);
+          (* a failure's minimized repro goes to stdout so a report needs
+             no corpus directory to be actionable *)
+          List.iter
+            (fun (f : Check.Fuzz.failure) ->
+              print_endline "minimized counterexample:";
+              print_string (Check.Corpus.to_string f.Check.Fuzz.shrunk))
+            r.Check.Fuzz.failures;
+          if r.Check.Fuzz.failures <> [] then 1 else 0)
+
 open Cmdliner
 
 let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"NETFILE")
@@ -238,6 +279,52 @@ let () =
          ~doc:"Run the STA-driven whole-design flow on a design file (see buffopt gen-design).")
       Term.(const flow_cmd $ file_arg $ iters $ cells)
   in
+  let fuzz =
+    let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Campaign master seed.") in
+    let count =
+      Arg.(value & opt int 1000 & info [ "count" ] ~docv:"N" ~doc:"Instances to test.")
+    in
+    let minutes =
+      Arg.(
+        value
+        & opt float 0.0
+        & info [ "minutes" ] ~docv:"M"
+            ~doc:"Stop drawing new instances after $(docv) minutes (0 = no budget).")
+    in
+    let corpus =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "corpus" ] ~docv:"DIR"
+            ~doc:"Save every minimized counterexample under $(docv) as a .corpus file.")
+    in
+    let mutate =
+      Arg.(
+        value
+        & opt string ""
+        & info [ "mutate" ] ~docv:"NAME"
+            ~doc:
+              "Run against a deliberately broken DP engine (cq-noise-prune or \
+               no-attach-guard); the campaign is expected to fail.")
+    in
+    let replay =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "replay" ] ~docv:"PATH"
+            ~doc:
+              "Instead of a campaign, replay a .corpus file or a directory of them; \
+               exits nonzero when any entry fails.")
+    in
+    Cmd.v
+      (Cmd.info "fuzz"
+         ~doc:
+           "Differential fuzzing of the optimizers: random instances are cross-checked \
+            against brute force and each other on a domain pool; failures are shrunk \
+            to minimal counterexamples and printed (and saved with --corpus).")
+      Term.(
+        const fuzz_cmd $ seed $ count $ jobs_arg $ minutes $ corpus $ mutate $ replay)
+  in
   let gen_design =
     let gates = Arg.(value & opt int 120 & info [ "gates" ] ~docv:"N" ~doc:"Gate count.") in
     let seed = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"S" ~doc:"Generator seed.") in
@@ -252,4 +339,4 @@ let () =
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "buffopt" ~doc:"Buffer insertion for noise and delay optimization.")
-          [ run; report; sample; dot; batch; flow; gen_design ]))
+          [ run; report; sample; dot; batch; flow; fuzz; gen_design ]))

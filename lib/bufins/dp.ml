@@ -4,6 +4,8 @@ module F = Frontier
 
 type mode = Single | Per_count of int
 
+type mutation = Cq_noise_prune | No_attach_guard
+
 type stats = { generated : int; pruned : int; peak_width : int }
 
 type result = {
@@ -29,11 +31,15 @@ type outcome = { best : result option; by_count : result option array; stats : s
 
 let ns_eps = 1e-12
 
-let run ?(prune = true) ?(widths = [ 1.0 ]) ?(area_frac = 0.4) ~noise ~mode ~lib tree =
+let run ?(prune = true) ?(widths = [ 1.0 ]) ?(area_frac = 0.4) ?mutation ~noise ~mode ~lib tree =
   if widths = [] || List.exists (fun w -> w < 1.0) widths then
     invalid_arg "Dp.run: widths must be >= 1";
   if lib = [] then invalid_arg "Dp.run: empty buffer library";
   if T.buffer_count tree > 0 then invalid_arg "Dp.run: tree already contains buffers";
+  (* mutation smoke (DESIGN.md §10): deliberately broken variants used
+     only to prove the Check subsystem catches them *)
+  let cq_prune = mutation = Some Cq_noise_prune in
+  let attach_guard = mutation <> Some No_attach_guard in
   let counted, kmax, nbuckets =
     match mode with
     | Single -> (false, max_int, 1)
@@ -45,7 +51,9 @@ let run ?(prune = true) ?(widths = [ 1.0 ]) ?(area_frac = 0.4) ~noise ~mode ~lib
   let sweep cands =
     if not prune then cands
     else begin
-      let kept, dropped = if noise then C.sweep_noise cands else C.sweep_delay cands in
+      let kept, dropped =
+        if noise && not cq_prune then C.sweep_noise cands else C.sweep_delay cands
+      in
       pruned := !pruned + dropped;
       kept
     end
@@ -105,7 +113,7 @@ let run ?(prune = true) ?(widths = [ 1.0 ]) ?(area_frac = 0.4) ~noise ~mode ~lib
      frontiers linearly (Van Ginneken); noise mode must consider every
      pairing — a pairing off the (c, q) frontier can be the only one whose
      noise slack survives the upstream wires. *)
-  let exhaustive = noise && prune in
+  let exhaustive = noise && prune && not cq_prune in
   let merge_groups lt rt =
     let runs = Array.make nslots [] in
     for sl = 0 to nslots - 1 do
@@ -168,7 +176,7 @@ let run ?(prune = true) ?(widths = [ 1.0 ]) ?(area_frac = 0.4) ~noise ~mode ~lib
                   let rec scan best best_s = function
                     | [] -> best
                     | (a : C.t) :: tl ->
-                        if noise && not (C.noise_ok ~r_gate:r_b a) then
+                        if noise && attach_guard && not (C.noise_ok ~r_gate:r_b a) then
                           scan best best_s tl
                         else
                           let s = a.C.q -. Tech.Buffer.gate_delay b ~load:a.C.c in
@@ -234,7 +242,7 @@ let run ?(prune = true) ?(widths = [ 1.0 ]) ?(area_frac = 0.4) ~noise ~mode ~lib
       if sl land 1 = 0 then
         List.iter
           (fun (a : C.t) ->
-            if not (noise && not (C.noise_ok ~r_gate:d.T.r_drv a)) then
+            if not (noise && attach_guard && not (C.noise_ok ~r_gate:d.T.r_drv a)) then
               finals := C.add_driver d a :: !finals)
           group)
     top;

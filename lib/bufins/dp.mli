@@ -29,6 +29,21 @@ type mode =
   | Single  (** one candidate list per parity; unbounded buffer count *)
   | Per_count of int  (** lists indexed by exact buffer count [0..kmax] *)
 
+type mutation =
+  | Cq_noise_prune
+      (** noise-mode frontiers pruned on (load, slack) only, with the
+          linear delay-mode branch walk — the exact defect PR 1 fixed
+          (see DESIGN.md §8): the engine can report infeasibility, or a
+          sub-optimal slack, on nets brute force solves *)
+  | No_attach_guard
+      (** buffers and the source driver attach to candidates without the
+          noise check of Figs. 10-11, so returned "noise-clean" solutions
+          can violate margins *)
+(** Deliberately broken engine variants for verifying the verifier:
+    [Check.Diff] and [buffopt fuzz --mutate] run campaigns against a
+    mutated engine and must catch it (the mutation smoke of DESIGN.md
+    §10). Never used by the production drivers. *)
+
 type stats = {
   generated : int;
       (** candidates materialized before any pruning: sink seeds, wire
@@ -60,6 +75,7 @@ val run :
   ?prune:bool ->
   ?widths:float list ->
   ?area_frac:float ->
+  ?mutation:mutation ->
   noise:bool ->
   mode:mode ->
   lib:Tech.Buffer.t list ->

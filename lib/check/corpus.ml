@@ -1,0 +1,255 @@
+module T = Rctree.Tree
+
+let f = Printf.sprintf "%.17g"
+
+(* {1 Writer} *)
+
+let buffer_clause (b : Tech.Buffer.t) =
+  Printf.sprintf "  (buffer %s %s %s %s %s %s)" b.Tech.Buffer.name
+    (if b.Tech.Buffer.inverting then "inv" else "ninv")
+    (f b.Tech.Buffer.c_in) (f b.Tech.Buffer.r_b) (f b.Tech.Buffer.d_b)
+    (f b.Tech.Buffer.nm)
+
+let wire_clause (w : T.wire) =
+  Printf.sprintf "(wire %s %s %s %s)" (f w.T.length) (f w.T.res) (f w.T.cap) (f w.T.cur)
+
+let to_string (inst : Instance.t) =
+  let tree = inst.Instance.tree in
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "(instance";
+  line " (oracle %s)" (Instance.oracle_name inst.Instance.oracle);
+  line " (seg-len %s)" (f inst.Instance.seg_len);
+  line " (lib";
+  let rec lib_lines = function
+    | [] -> ()
+    | [ b ] -> line "%s)" (buffer_clause b)
+    | b :: rest ->
+        line "%s" (buffer_clause b);
+        lib_lines rest
+  in
+  lib_lines inst.Instance.lib;
+  line " (tree";
+  (* depth-first, parents before children; a node's id in the file is its
+     position in this listing *)
+  let emitted = Hashtbl.create 16 in
+  let next = ref 0 in
+  let rec emit v last =
+    let my_id = !next in
+    Hashtbl.add emitted v my_id;
+    incr next;
+    let parent_id u = Hashtbl.find emitted u in
+    let clause =
+      match T.kind tree v with
+      | T.Source d -> Printf.sprintf "  (source %s %s)" (f d.T.r_drv) (f d.T.d_drv)
+      | T.Sink s ->
+          Printf.sprintf "  (sink %d %s %s %s %s %s)"
+            (parent_id (T.parent tree v))
+            s.T.sname (f s.T.c_sink) (f s.T.rat) (f s.T.nm)
+            (wire_clause (T.wire_to tree v))
+      | T.Internal ->
+          Printf.sprintf "  (internal %d %s %s)"
+            (parent_id (T.parent tree v))
+            (if T.feasible tree v then "feas" else "infeas")
+            (wire_clause (T.wire_to tree v))
+      | T.Buffered _ -> invalid_arg "Corpus: buffered trees are not instances"
+    in
+    let children = T.children tree v in
+    (* the final clause also closes (tree and (instance *)
+    if last && children = [] then line "%s))" clause else line "%s" clause;
+    let rec walk = function
+      | [] -> ()
+      | [ c ] -> emit c last
+      | c :: rest ->
+          emit c false;
+          walk rest
+    in
+    walk children
+  in
+  emit (T.root tree) true;
+  Buffer.contents buf
+
+(* {1 Parser} *)
+
+type sexp = Atom of string | List of sexp list
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+let tokenize s =
+  let toks = ref [] in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = '(' || c = ')' then begin
+      toks := String.make 1 c :: !toks;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = ';' then begin
+      (* comment to end of line *)
+      while !i < n && s.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else begin
+      let start = !i in
+      while
+        !i < n
+        &&
+        let c = s.[!i] in
+        c <> '(' && c <> ')' && c <> ' ' && c <> '\t' && c <> '\n' && c <> '\r'
+      do
+        incr i
+      done;
+      toks := String.sub s start (!i - start) :: !toks
+    end
+  done;
+  List.rev !toks
+
+let parse_sexp toks =
+  let rec one = function
+    | [] -> fail "unexpected end of input"
+    | "(" :: rest ->
+        let items, rest = many rest in
+        (List items, rest)
+    | ")" :: _ -> fail "unexpected ')'"
+    | a :: rest -> (Atom a, rest)
+  and many = function
+    | ")" :: rest -> ([], rest)
+    | [] -> fail "missing ')'"
+    | toks ->
+        let x, rest = one toks in
+        let xs, rest = many rest in
+        (x :: xs, rest)
+  in
+  match one toks with
+  | x, [] -> x
+  | _, t :: _ -> fail "trailing input after instance: %S" t
+
+let atom = function Atom a -> a | List _ -> fail "expected an atom, got a list"
+
+let num x =
+  let a = atom x in
+  match float_of_string_opt a with
+  | Some v when Float.is_finite v -> v
+  | _ -> fail "not a finite number: %S" a
+
+let parse_buffer = function
+  | List [ Atom "buffer"; name; pol; c_in; r_b; d_b; nm ] ->
+      let inverting =
+        match atom pol with
+        | "inv" -> true
+        | "ninv" -> false
+        | p -> fail "buffer polarity must be inv or ninv, got %S" p
+      in
+      Tech.Buffer.make ~name:(atom name) ~inverting ~c_in:(num c_in) ~r_b:(num r_b)
+        ~d_b:(num d_b) ~nm:(num nm)
+  | _ -> fail "malformed (buffer ...) clause"
+
+let parse_wire = function
+  | List [ Atom "wire"; length; res; cap; cur ] ->
+      T.make_wire ~length:(num length) ~res:(num res) ~cap:(num cap) ~cur:(num cur)
+  | _ -> fail "malformed (wire ...) clause"
+
+let parse_tree clauses =
+  let b = Rctree.Builder.create () in
+  (* ids.(k) = builder id of the k-th clause; parents reference positions *)
+  let ids = ref [||] in
+  let builder_id pos =
+    let a = !ids in
+    if pos < 0 || pos >= Array.length a then fail "parent %d not yet defined" pos
+    else a.(pos)
+  in
+  List.iteri
+    (fun k clause ->
+      let id =
+        match clause with
+        | List [ Atom "source"; r_drv; d_drv ] ->
+            if k <> 0 then fail "(source ...) must be the first tree clause";
+            Rctree.Builder.add_source b ~r_drv:(num r_drv) ~d_drv:(num d_drv)
+        | List [ Atom "sink"; parent; name; c_sink; rat; nm; wire ] ->
+            Rctree.Builder.add_sink b
+              ~parent:(builder_id (int_of_float (num parent)))
+              ~wire:(parse_wire wire) ~name:(atom name) ~c_sink:(num c_sink)
+              ~rat:(num rat) ~nm:(num nm)
+        | List [ Atom "internal"; parent; feas; wire ] ->
+            let feasible =
+              match atom feas with
+              | "feas" -> true
+              | "infeas" -> false
+              | x -> fail "internal feasibility must be feas or infeas, got %S" x
+            in
+            Rctree.Builder.add_internal b
+              ~parent:(builder_id (int_of_float (num parent)))
+              ~wire:(parse_wire wire) ~feasible ()
+        | _ -> fail "malformed tree clause %d" k
+      in
+      ids := Array.append !ids [| id |])
+    clauses;
+  Rctree.Builder.finish b
+
+let interpret = function
+  | List (Atom "instance" :: fields) ->
+      let oracle = ref None and seg_len = ref None and lib = ref None and tree = ref None in
+      List.iter
+        (function
+          | List [ Atom "oracle"; name ] -> (
+              let name = atom name in
+              match Instance.oracle_of_name name with
+              | Some o -> oracle := Some o
+              | None -> fail "unknown oracle %S" name)
+          | List [ Atom "seg-len"; v ] -> seg_len := Some (num v)
+          | List (Atom "lib" :: bufs) -> lib := Some (List.map parse_buffer bufs)
+          | List (Atom "tree" :: clauses) -> tree := Some (parse_tree clauses)
+          | _ -> fail "unknown instance field")
+        fields;
+      let get what = function Some v -> v | None -> fail "missing (%s ...)" what in
+      Instance.make
+        ~tree:(get "tree" !tree)
+        ~lib:(get "lib" !lib)
+        ~seg_len:(get "seg-len" !seg_len)
+        (get "oracle" !oracle)
+  | _ -> fail "expected a top-level (instance ...)"
+
+let of_string s =
+  match interpret (parse_sexp (tokenize s)) with
+  | inst -> Ok inst
+  | exception Bad m -> Error m
+  | exception Invalid_argument m -> Error m
+  | exception Failure m -> Error m
+
+(* {1 Files} *)
+
+let save ~dir inst =
+  (match Unix.mkdir dir 0o755 with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let text = to_string inst in
+  let digest = String.sub (Digest.to_hex (Digest.string text)) 0 8 in
+  let path =
+    Filename.concat dir
+      (Printf.sprintf "%s-%s.corpus" (Instance.oracle_name inst.Instance.oracle) digest)
+  in
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc;
+  path
+
+let load_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error m -> Error m
+
+let load_dir dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+      Array.sort compare names;
+      Array.to_list names
+      |> List.filter (fun n -> Filename.check_suffix n ".corpus")
+      |> List.map (fun n ->
+             let path = Filename.concat dir n in
+             (path, load_file path))

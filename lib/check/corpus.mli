@@ -1,0 +1,44 @@
+(** Serialized counterexamples: write, parse, replay.
+
+    A corpus entry is one {!Instance.t} in a compact s-expression text
+    format, precise enough to replay bit-for-bit ([%.17g] floats) and
+    plain enough to read in a diff:
+
+    {v
+    (instance
+     (oracle alg3-vs-brute)
+     (seg-len 0.0015)
+     (lib
+      (buffer b0 ninv 2e-15 100 3e-11 0.6))
+     (tree
+      (source 220 1.2e-11)
+      (internal 0 feas (wire 0.002 114 2.4e-13 4.3e-05))
+      (sink 1 s0 1.5e-14 8e-10 0.5 (wire 0.001 57 1.2e-13 2.1e-05))))
+    v}
+
+    Tree nodes are listed depth-first so every parent precedes its
+    children; a node's id is its position in the list (the source is 0)
+    and [parent] fields refer to those positions. Buffers are
+    [(buffer name inv|ninv c_in r_b d_b nm)]; wires are
+    [(wire length res cap cur)].
+
+    Failing fuzz instances are shrunk and saved under [test/corpus/];
+    committed entries document bugs that were fixed and are replayed by
+    CI and the test suite as regressions. *)
+
+val to_string : Instance.t -> string
+
+val of_string : string -> (Instance.t, string) result
+(** Never raises: syntax errors, unknown oracles and malformed trees all
+    come back as [Error]. [of_string (to_string i)] rebuilds [i]. *)
+
+val save : dir:string -> Instance.t -> string
+(** Write the instance under [dir] (created if missing) as
+    [<oracle>-<digest8>.corpus] — the digest keys the content, so saving
+    the same counterexample twice is idempotent. Returns the path. *)
+
+val load_file : string -> (Instance.t, string) result
+
+val load_dir : string -> (string * (Instance.t, string) result) list
+(** Every [*.corpus] file in the directory, sorted by name. Empty when
+    the directory does not exist. *)

@@ -1,0 +1,267 @@
+module T = Rctree.Tree
+module Dp = Bufins.Dp
+
+type verdict = Pass | Skip of string | Fail of string
+
+exception Failed of string
+
+let failf fmt = Printf.ksprintf (fun m -> raise (Failed m)) fmt
+
+let approx = Util.Fx.approx ~rel:1e-9 ~abs:1e-15
+
+(* Brute force enumerates (|lib| + 1) ^ feasible assignments; beyond this
+   budget the instance is skipped, not ground through. *)
+let brute_budget = 20_000.
+
+let feasible_nodes tree = List.filter (T.feasible tree) (T.internals tree)
+
+let brute_cost lib tree =
+  float_of_int (List.length lib + 1) ** float_of_int (List.length (feasible_nodes tree))
+
+let segmented (inst : Instance.t) =
+  Rctree.Segment.refine inst.Instance.tree ~max_len:inst.Instance.seg_len
+
+(* Run the invariant checker and turn violations into a failure. *)
+let must_hold ~what ?expect tree placements =
+  match Invariant.check ?expect tree placements with
+  | Ok report -> report
+  | Error vs ->
+      failf "%s: %s" what (String.concat "; " (List.map Invariant.pp_violation vs))
+
+let dp_expect (r : Dp.result) ~noise_clean =
+  {
+    Invariant.count = Some r.Dp.count;
+    slack = Some r.Dp.slack;
+    noise_clean;
+    feasible_only = true;
+  }
+
+(* {1 Oracles} *)
+
+let vangin_vs_brute ?mutation (inst : Instance.t) =
+  let lib = inst.Instance.lib in
+  let seg = segmented inst in
+  if brute_cost lib seg > brute_budget then Skip "brute force intractable"
+  else begin
+    let outcome = Dp.run ?mutation ~noise:false ~mode:Dp.Single ~lib seg in
+    let r = match outcome.Dp.best with
+      | Some r -> r
+      | None -> failf "vangin: delay-mode DP returned no solution"
+    in
+    ignore
+      (must_hold ~what:"vangin solution" ~expect:(dp_expect r ~noise_clean:false) seg
+         r.Dp.placements);
+    match Bufins.Brute.best_slack ~noise:false ~lib seg with
+    | None -> failf "brute: no delay-mode assignment (unbuffered should qualify)"
+    | Some (best, _) ->
+        if not (approx best r.Dp.slack) then
+          failf "vangin slack %.17g disagrees with brute optimum %.17g" r.Dp.slack best;
+        Pass
+  end
+
+let alg3_vs_brute ?mutation (inst : Instance.t) =
+  let lib = inst.Instance.lib in
+  let seg = segmented inst in
+  if brute_cost lib seg > brute_budget then Skip "brute force intractable"
+  else begin
+    let outcome = Dp.run ?mutation ~noise:true ~mode:Dp.Single ~lib seg in
+    let brute = Bufins.Brute.best_slack ~noise:true ~lib seg in
+    match (outcome.Dp.best, brute) with
+    | None, None -> Pass
+    | Some r, None ->
+        failf "alg3 claims a noise-clean solution (slack %.17g) but brute finds none"
+          r.Dp.slack
+    | None, Some (best, _) ->
+        (* the PR-1 bug signature: pruning lost the only feasible candidate *)
+        failf "alg3 reports infeasible but brute finds a noise-clean slack %.17g" best
+    | Some r, Some (best, _) ->
+        ignore
+          (must_hold ~what:"alg3 solution" ~expect:(dp_expect r ~noise_clean:true) seg
+             r.Dp.placements);
+        if not (approx best r.Dp.slack) then
+          failf "alg3 slack %.17g disagrees with brute optimum %.17g" r.Dp.slack best;
+        Pass
+  end
+
+let alg1_vs_alg2 (inst : Instance.t) =
+  if Instance.sink_count inst <> 1 then Skip "Algorithm 1 needs a single-sink net"
+  else begin
+    let lib = inst.Instance.lib in
+    let tree = inst.Instance.tree in
+    (* both climb wires directly: no segmenting, arbitrary offsets *)
+    let a1 = try Ok (Bufins.Alg1.run ~lib tree) with Failure m -> Error m in
+    let a2 = try Ok (Bufins.Alg2.run ~lib tree) with Failure m -> Error m in
+    match (a1, a2) with
+    | Error _, Error _ -> Pass
+    | Ok r, Error m ->
+        failf "alg2 fails (%s) where alg1 places %d buffers" m r.Bufins.Alg1.count
+    | Error m, Ok r ->
+        failf "alg1 fails (%s) where alg2 places %d buffers" m r.Bufins.Alg2.count
+    | Ok r1, Ok r2 ->
+        if r1.Bufins.Alg1.count <> r2.Bufins.Alg2.count then
+          failf "minimal buffer counts disagree: alg1 %d vs alg2 %d" r1.Bufins.Alg1.count
+            r2.Bufins.Alg2.count;
+        let expect count =
+          { Invariant.count = Some count; slack = None; noise_clean = true; feasible_only = false }
+        in
+        ignore
+          (must_hold ~what:"alg1 solution"
+             ~expect:(expect r1.Bufins.Alg1.count)
+             tree r1.Bufins.Alg1.placements);
+        ignore
+          (must_hold ~what:"alg2 solution"
+             ~expect:(expect r2.Bufins.Alg2.count)
+             tree r2.Bufins.Alg2.placements);
+        Pass
+  end
+
+let alg3_vs_vangin ?mutation (inst : Instance.t) =
+  let lib = inst.Instance.lib in
+  let seg = segmented inst in
+  let v =
+    match (Dp.run ?mutation ~noise:false ~mode:Dp.Single ~lib seg).Dp.best with
+    | Some r -> r
+    | None -> failf "vangin: delay-mode DP returned no solution"
+  in
+  ignore
+    (must_hold ~what:"vangin solution" ~expect:(dp_expect v ~noise_clean:false) seg
+       v.Dp.placements);
+  match (Dp.run ?mutation ~noise:true ~mode:Dp.Single ~lib seg).Dp.best with
+  | Some r ->
+      ignore
+        (must_hold ~what:"alg3 solution" ~expect:(dp_expect r ~noise_clean:true) seg
+           r.Dp.placements);
+      (* alg3 explores a subset of vangin's candidates *)
+      if r.Dp.slack > v.Dp.slack +. 1e-12 then
+        failf "alg3 slack %.17g exceeds vangin's unconstrained optimum %.17g" r.Dp.slack
+          v.Dp.slack;
+      Pass
+  | None ->
+      (* no noise-feasible solution claimed: then neither the delay-optimal
+         solution nor the bare tree may evaluate noise-clean *)
+      let applied = Bufins.Eval.apply seg v.Dp.placements in
+      if Bufins.Eval.noise_clean applied then
+        failf "alg3 reports infeasible but vangin's solution is noise-clean";
+      if Bufins.Eval.noise_clean (Bufins.Eval.of_tree seg) then
+        failf "alg3 reports infeasible but the unbuffered tree is noise-clean";
+      Pass
+
+let buffopt_problem3 ?mutation (inst : Instance.t) =
+  let lib = inst.Instance.lib in
+  let seg = segmented inst in
+  let kmax = 8 in
+  let outcome = Dp.run ?mutation ~noise:true ~mode:(Dp.Per_count kmax) ~lib seg in
+  Array.iteri
+    (fun k -> function
+      | None -> ()
+      | Some (r : Dp.result) ->
+          if r.Dp.count <> k then
+            failf "bucket %d holds a %d-buffer solution" k r.Dp.count;
+          ignore
+            (must_hold
+               ~what:(Printf.sprintf "bucket-%d solution" k)
+               ~expect:(dp_expect r ~noise_clean:true) seg r.Dp.placements))
+    outcome.Dp.by_count;
+  (* best = the bucket maximum *)
+  let bucket_best =
+    Array.fold_left
+      (fun acc -> function
+        | None -> acc
+        | Some (r : Dp.result) -> Float.max acc r.Dp.slack)
+      neg_infinity outcome.Dp.by_count
+  in
+  (match outcome.Dp.best with
+  | Some r when not (approx r.Dp.slack bucket_best) ->
+      failf "best slack %.17g is not the bucket maximum %.17g" r.Dp.slack bucket_best
+  | None when bucket_best > neg_infinity -> failf "best = None despite non-empty buckets"
+  | _ -> ());
+  (* the production Problem 3 driver (never mutated) must agree with the
+     engine-under-test's buckets *)
+  (match (Bufins.Buffopt.problem3 ~kmax ~lib seg, outcome.Dp.best) with
+  | None, None -> ()
+  | Some _, None -> failf "engine reports infeasible but the Problem 3 driver succeeds"
+  | None, Some _ -> failf "Problem 3 driver reports infeasible but the engine succeeds"
+  | Some p3, Some _ -> (
+      let r = p3.Bufins.Buffopt.result in
+      match outcome.Dp.by_count.(r.Dp.count) with
+      | Some b when approx b.Dp.slack r.Dp.slack -> ()
+      | Some b ->
+          failf "Problem 3 picks count %d slack %.17g, engine bucket holds %.17g"
+            r.Dp.count r.Dp.slack b.Dp.slack
+      | None -> failf "Problem 3 picks count %d, an empty engine bucket" r.Dp.count));
+  Pass
+
+let dp_invariants ?mutation (inst : Instance.t) =
+  let lib = inst.Instance.lib in
+  let seg = segmented inst in
+  let v = Bufins.Vangin.run ~lib seg in
+  ignore
+    (must_hold ~what:"vangin solution" ~expect:(dp_expect v ~noise_clean:false) seg
+       v.Dp.placements);
+  (* DelayOpt(k): counts bounded, slack monotone in the budget *)
+  let prev = ref neg_infinity in
+  for k = 0 to 2 do
+    let r = Bufins.Vangin.run_max ~max_buffers:k ~lib seg in
+    if r.Dp.count > k then failf "DelayOpt(%d) used %d buffers" k r.Dp.count;
+    ignore
+      (must_hold
+         ~what:(Printf.sprintf "DelayOpt(%d) solution" k)
+         ~expect:(dp_expect r ~noise_clean:false) seg r.Dp.placements);
+    if r.Dp.slack < !prev -. 1e-12 then
+      failf "DelayOpt(%d) slack %.17g below DelayOpt(%d)'s %.17g" k r.Dp.slack (k - 1)
+        !prev;
+    prev := Float.max !prev r.Dp.slack
+  done;
+  if v.Dp.slack < !prev -. 1e-12 then
+    failf "unbounded vangin slack %.17g below DelayOpt(2)'s %.17g" v.Dp.slack !prev;
+  let outcome = Dp.run ?mutation ~noise:true ~mode:Dp.Single ~lib seg in
+  (match outcome.Dp.best with
+  | Some r ->
+      ignore
+        (must_hold ~what:"alg3 solution" ~expect:(dp_expect r ~noise_clean:true) seg
+           r.Dp.placements)
+  | None -> ());
+  (* pruning must not change the optimum (Ablation B, small trees only) *)
+  if
+    List.length (feasible_nodes seg) <= 7
+    && List.length lib <= 2
+  then begin
+    let un = Dp.run ?mutation ~prune:false ~noise:true ~mode:Dp.Single ~lib seg in
+    match (outcome.Dp.best, un.Dp.best) with
+    | Some a, Some b when not (approx a.Dp.slack b.Dp.slack) ->
+        failf "pruned slack %.17g differs from unpruned %.17g" a.Dp.slack b.Dp.slack
+    | Some _, None -> failf "pruned run feasible, unpruned infeasible"
+    | None, Some b -> failf "pruning lost the only feasible solution (slack %.17g)" b.Dp.slack
+    | _ -> ()
+  end;
+  let s = outcome.Dp.stats in
+  if s.Dp.generated <= 0 then failf "stats: generated = %d" s.Dp.generated;
+  if s.Dp.pruned < 0 || s.Dp.pruned > s.Dp.generated then
+    failf "stats: pruned %d out of %d generated" s.Dp.pruned s.Dp.generated;
+  if s.Dp.peak_width <= 0 || s.Dp.peak_width > s.Dp.generated then
+    failf "stats: peak width %d vs %d generated" s.Dp.peak_width s.Dp.generated;
+  Pass
+
+let run ?mutation (inst : Instance.t) =
+  let tag v =
+    match v with
+    | Fail m -> Fail (Printf.sprintf "[%s] %s" (Instance.oracle_name inst.Instance.oracle) m)
+    | v -> v
+  in
+  match
+    match inst.Instance.oracle with
+    | Instance.Vangin_vs_brute -> vangin_vs_brute ?mutation inst
+    | Instance.Alg3_vs_brute -> alg3_vs_brute ?mutation inst
+    | Instance.Alg1_vs_alg2 -> alg1_vs_alg2 inst
+    | Instance.Alg3_vs_vangin -> alg3_vs_vangin ?mutation inst
+    | Instance.Buffopt_problem3 -> buffopt_problem3 ?mutation inst
+    | Instance.Dp_invariants -> dp_invariants ?mutation inst
+  with
+  | v -> tag v
+  | exception Failed m -> tag (Fail m)
+  | exception e ->
+      (* an optimizer crash is a counterexample too; Pool bodies must not raise *)
+      tag (Fail (Printf.sprintf "exception: %s" (Printexc.to_string e)))
+
+let fails ?mutation inst =
+  match run ?mutation inst with Fail m -> Some m | Pass | Skip _ -> None

@@ -1,0 +1,24 @@
+(** Differential testing of the optimizers.
+
+    Each {!Instance.oracle} names a cross-check between independent
+    implementations — DP against exhaustive {!Bufins.Brute}, Algorithm 1
+    against Algorithm 2, Algorithm 3 against Van Ginneken — plus the
+    from-scratch {!Invariant} evaluation of every returned solution.
+    [run] never raises: any exception inside an optimizer is itself a
+    counterexample and comes back as [Fail].
+
+    [mutation] swaps in a deliberately broken DP engine
+    ({!Bufins.Dp.mutation}) for the engine-under-test side only — the
+    reference sides (brute force, Algorithms 1/2, the production
+    [Buffopt] driver) stay healthy — to verify that campaigns catch
+    known bug classes (DESIGN.md §10). *)
+
+type verdict =
+  | Pass
+  | Skip of string  (** oracle not applicable (e.g. brute intractable) *)
+  | Fail of string
+
+val run : ?mutation:Bufins.Dp.mutation -> Instance.t -> verdict
+
+val fails : ?mutation:Bufins.Dp.mutation -> Instance.t -> string option
+(** [Some message] iff {!run} fails — the shape {!Shrink.shrink} wants. *)

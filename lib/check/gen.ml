@@ -1,0 +1,95 @@
+module T = Rctree.Tree
+
+let process = Tech.Process.default
+
+let small_buffer =
+  Tech.Buffer.make ~name:"b0" ~inverting:false ~c_in:2e-15 ~r_b:100.0 ~d_b:30e-12 ~nm:0.6
+
+let single_lib = [ small_buffer ]
+
+let two_lib =
+  [
+    small_buffer;
+    Tech.Buffer.make ~name:"i0" ~inverting:true ~c_in:1.5e-15 ~r_b:140.0 ~d_b:15e-12 ~nm:0.6;
+  ]
+
+let mixed_lib =
+  [
+    Tech.Buffer.make ~name:"fastlow" ~inverting:false ~c_in:2e-15 ~r_b:100.0 ~d_b:10e-12 ~nm:0.3;
+    Tech.Buffer.make ~name:"slowhigh" ~inverting:false ~c_in:3e-15 ~r_b:120.0 ~d_b:30e-12 ~nm:0.9;
+  ]
+
+(* The random-attachment tree shape shared by [theorem5_tree] and
+   [lowmargin_tree]; only the wire-length and margin regimes differ. *)
+let attach_tree rng ~max_wire ~nm_lo ~nm_hi =
+  let b = Rctree.Builder.create () in
+  let so =
+    Rctree.Builder.add_source b
+      ~r_drv:(Util.Rng.range rng 120.0 300.0)
+      ~d_drv:(Util.Rng.range rng 0.0 50e-12)
+  in
+  let wire () = T.wire_of_length process (Util.Rng.range rng 0.3e-3 max_wire) in
+  let n_sinks = 1 + Util.Rng.int rng 3 in
+  let attach = ref [ so ] in
+  for k = 0 to n_sinks - 1 do
+    let parent = List.nth !attach (Util.Rng.int rng (List.length !attach)) in
+    let parent =
+      if Util.Rng.bool rng then begin
+        let v = Rctree.Builder.add_internal b ~parent ~wire:(wire ()) () in
+        attach := v :: !attach;
+        v
+      end
+      else parent
+    in
+    ignore
+      (Rctree.Builder.add_sink b ~parent ~wire:(wire ())
+         ~name:(Printf.sprintf "s%d" k)
+         ~c_sink:(Util.Rng.range rng 5e-15 40e-15)
+         ~rat:(Util.Rng.range rng 0.3e-9 1.5e-9)
+         ~nm:(Util.Rng.range rng nm_lo nm_hi))
+  done;
+  Rctree.Builder.finish b
+
+let theorem5_tree rng = attach_tree rng ~max_wire:2.5e-3 ~nm_lo:0.7 ~nm_hi:1.0
+
+let lowmargin_tree rng = attach_tree rng ~max_wire:3.0e-3 ~nm_lo:0.4 ~nm_hi:0.9
+
+let chain rng =
+  let len = Util.Rng.range rng 0.5e-3 15e-3 in
+  let r_drv = Util.Rng.range rng 20.0 400.0 in
+  let c_sink = Util.Rng.range rng 2e-15 50e-15 in
+  Fixtures.two_pin ~r_drv ~c_sink process ~len
+
+let segment_for_brute tree =
+  let seg = Rctree.Segment.refine tree ~max_len:1.5e-3 in
+  let feasible = List.filter (T.feasible seg) (T.internals seg) in
+  if List.length feasible <= 9 then Some seg else None
+
+let random_net rng = Fixtures.random_net rng process ~max_sinks:5 ~max_len:5e-3
+
+let instance_for oracle rng =
+  match oracle with
+  | Instance.Vangin_vs_brute ->
+      let lib = if Util.Rng.bool rng then single_lib else two_lib in
+      Instance.make ~tree:(theorem5_tree rng) ~lib ~seg_len:1.5e-3 oracle
+  | Instance.Alg3_vs_brute ->
+      let tree, lib =
+        if Util.Rng.bool rng then (theorem5_tree rng, single_lib)
+        else (lowmargin_tree rng, mixed_lib)
+      in
+      Instance.make ~tree ~lib ~seg_len:1.5e-3 oracle
+  | Instance.Alg1_vs_alg2 ->
+      Instance.make ~tree:(chain rng) ~lib:Tech.Lib.default_library ~seg_len:1.5e-3 oracle
+  | Instance.Alg3_vs_vangin ->
+      Instance.make ~tree:(random_net rng) ~lib:Tech.Lib.default_library ~seg_len:500e-6
+        oracle
+  | Instance.Buffopt_problem3 ->
+      Instance.make ~tree:(random_net rng) ~lib:Tech.Lib.default_library ~seg_len:700e-6
+        oracle
+  | Instance.Dp_invariants ->
+      Instance.make ~tree:(random_net rng) ~lib:Tech.Lib.default_library ~seg_len:500e-6
+        oracle
+
+let instance rng =
+  let oracle = Util.Rng.choice rng (Array.of_list Instance.all_oracles) in
+  instance_for oracle rng

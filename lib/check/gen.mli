@@ -1,0 +1,62 @@
+(** Random-instance generators for the verification subsystem.
+
+    Extracted from the ad-hoc generators the property tests grew in
+    [test/helpers.ml] so that the fuzz campaigns, the shrinker, the
+    corpus and the test suite all draw from one seeded source. All
+    randomness flows through {!Util.Rng}: the same seed produces the
+    same instance on every machine, which is what makes a corpus file's
+    provenance reproducible. The process is {!Tech.Process.default}
+    throughout (the paper's estimation-mode setup). *)
+
+val process : Tech.Process.t
+
+(** {1 Libraries} *)
+
+val small_buffer : Tech.Buffer.t
+(** A single non-inverting buffer satisfying Theorem 5's assumptions
+    against {!theorem5_tree} sinks: [c_in] below every sink cap, margin
+    below every sink margin. *)
+
+val single_lib : Tech.Buffer.t list
+(** [[small_buffer]] — the Theorem 5 regime. *)
+
+val two_lib : Tech.Buffer.t list
+(** {!small_buffer} plus an inverter: exercises polarity tracking. *)
+
+val mixed_lib : Tech.Buffer.t list
+(** Two non-inverting buffers, neither satisfying Theorem 5's margin
+    assumption against {!lowmargin_tree} sinks: a fast low-margin buffer
+    and a slow high-margin one. The optimum often needs the slow buffer
+    even where the fast one wins on slack — the regime in which
+    (load, slack)-only pruning loses solutions (PR 1). *)
+
+(** {1 Trees} *)
+
+val theorem5_tree : Util.Rng.t -> Rctree.Tree.t
+(** Random small trees (1-3 sinks) whose sinks respect Theorem 5's
+    assumptions wrt {!small_buffer}: caps >= 5 fF, margins >= 0.7 V. *)
+
+val lowmargin_tree : Util.Rng.t -> Rctree.Tree.t
+(** Like {!theorem5_tree} but with sink margins down to 0.4 V and longer
+    wires: instances where no single library buffer satisfies Theorem
+    5's assumptions, so (load, slack)-only pruning can discard the lone
+    noise-feasible candidate. *)
+
+val chain : Util.Rng.t -> Rctree.Tree.t
+(** A random two-pin net (single sink, one wire, 0.5-15 mm): the
+    Algorithm 1 / Algorithm 2 agreement domain. *)
+
+val segment_for_brute : Rctree.Tree.t -> Rctree.Tree.t option
+(** Coarse segmenting (1.5 mm) that keeps brute-force enumeration
+    tractable; [None] when more than 9 feasible nodes result. *)
+
+(** {1 Instances} *)
+
+val instance : Util.Rng.t -> Instance.t
+(** Draw a complete instance: an oracle chosen uniformly, with a tree,
+    library and segmenting length from the regime that oracle checks
+    (brute-force oracles get small coarse trees, invariant oracles get
+    arbitrary random nets). Deterministic in the generator state. *)
+
+val instance_for : Instance.oracle -> Util.Rng.t -> Instance.t
+(** Like {!instance} with the oracle pinned. *)

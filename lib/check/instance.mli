@@ -1,0 +1,71 @@
+(** First-class verification instances.
+
+    An instance bundles everything a differential or invariant check
+    needs to run deterministically: an unbuffered routing tree, a buffer
+    library, the wire-segmenting length the DP oracles apply, and which
+    oracle to run ({!Diff}). Instances are what {!Gen} generates, what
+    {!Corpus} serializes and replays, and what {!Shrink} minimizes —
+    every structural edit here rebuilds a fresh, validated tree through
+    {!Rctree.Builder}, so a shrunk instance is always a legal input to
+    every optimizer. *)
+
+type oracle =
+  | Vangin_vs_brute  (** Van Ginneken slack = exhaustive delay optimum *)
+  | Alg3_vs_brute
+      (** Algorithm 3 agrees with the exhaustive noise-constrained
+          optimum — feasibility {e and} slack (the PR-1 bug class) *)
+  | Alg1_vs_alg2  (** single-sink chains: equal counts, both clean *)
+  | Alg3_vs_vangin
+      (** noise-constrained never beats unconstrained; an infeasible
+          verdict is contradicted by a noise-clean Van Ginneken answer *)
+  | Buffopt_problem3
+      (** count-indexed buckets exact, clean, consistent with the
+          Problem 3 selection rule *)
+  | Dp_invariants
+      (** every DP driver's solution passes {!Invariant.check}; pruning
+          does not change the optimum on small trees; stats sane *)
+
+val all_oracles : oracle list
+
+val oracle_name : oracle -> string
+(** Stable kebab-case name used by the corpus format and the CLI. *)
+
+val oracle_of_name : string -> oracle option
+
+type t = {
+  tree : Rctree.Tree.t;  (** unbuffered; checked by the constructors *)
+  lib : Tech.Buffer.t list;  (** non-empty *)
+  seg_len : float;  (** metres; the segmenting the DP oracles apply *)
+  oracle : oracle;
+}
+
+val make :
+  tree:Rctree.Tree.t -> lib:Tech.Buffer.t list -> seg_len:float -> oracle -> t
+(** Raises [Invalid_argument] on an empty library, a non-positive
+    [seg_len], or a tree that already contains buffers. *)
+
+val sink_count : t -> int
+
+val size : t -> int
+(** Node count plus library size — the measure {!Shrink} drives down. *)
+
+(** {1 Shrinking edits}
+
+    Each edit returns [None] when it does not apply (nothing left to
+    remove, wires already at the minimum length); otherwise a rebuilt,
+    validated instance. Branches left without any sink are pruned. *)
+
+val drop_sink : t -> int -> t option
+(** Remove the [k]-th sink (in tree order). [None] when [k] is out of
+    range or it is the last sink. *)
+
+val drop_buffer : t -> int -> t option
+(** Remove the [k]-th library buffer; [None] on the last one. *)
+
+val halve_wires : t -> t option
+(** Scale every wire (length, parasitics, coupled current) by 0.5;
+    [None] once the longest wire is below 10 um. *)
+
+val halve_wire : t -> int -> t option
+(** Halve only node [v]'s parent wire; [None] for the root, out-of-range
+    nodes, or wires below 10 um. *)

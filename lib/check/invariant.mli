@@ -1,0 +1,60 @@
+(** From-scratch invariant checking of buffer-insertion solutions.
+
+    Given the tree an optimizer ran on and the placements it returned,
+    recompute everything with the independent {!Bufins.Eval} / {!Noise}
+    analyzers and assert the solution is structurally and electrically
+    legal — the same shape of evidence as the paper's 3dnoise
+    cross-check, but mechanized. The [expect] record carries what the
+    optimizer {e claimed} (its count, its predicted slack, whether the
+    algorithm guarantees noise cleanliness, whether it was restricted to
+    feasible nodes), so a disagreement between the engine's incremental
+    bookkeeping and the ground-truth evaluators is itself a violation. *)
+
+type violation = {
+  code : string;  (** stable kebab-case class, e.g. ["slack-mismatch"] *)
+  node : int;  (** offending node, [-1] when not node-specific *)
+  detail : string;
+}
+
+val pp_violation : violation -> string
+
+type expect = {
+  count : int option;  (** the optimizer's reported buffer count *)
+  slack : float option;  (** the optimizer's predicted source slack *)
+  noise_clean : bool;
+      (** the algorithm guarantees zero noise violations (Alg1/2/3,
+          BuffOpt) — also enables the per-gate drive check below *)
+  feasible_only : bool;
+      (** the optimizer may only buffer feasible nodes (the DP family);
+          Algorithms 1/2 place at arbitrary wire offsets instead *)
+}
+
+val default_expect : expect
+(** No count/slack claims, [noise_clean = false],
+    [feasible_only = false]. *)
+
+val check :
+  ?expect:expect ->
+  Rctree.Tree.t ->
+  Rctree.Surgery.placement list ->
+  (Bufins.Eval.report, violation list) result
+(** Violations checked, in order:
+
+    - [placement-*]: node in range and not the root, distance within
+      the parent wire, feasible-node discipline (under
+      [feasible_only]), no duplicate positions;
+    - [surgery-reject] / [tree-invalid]: {!Rctree.Surgery.apply}
+      accepts the placements and {!Rctree.Tree.validate} accepts the
+      result;
+    - [polarity]: every sink sees an even number of inversions;
+    - [count-mismatch]: applied buffer count vs the claim;
+    - [slack-mismatch]: {!Elmore} slack of the applied tree vs the
+      claim (rel 1e-9);
+    - [noise-violation]: any leaf above its margin (under
+      [noise_clean]), per eqs. (11)/(12);
+    - [gate-drive-noise]: for every gate [g], [r_g * I(g) <= ns(g)] —
+      Theorem 1's max-length condition evaluated on each driven stage
+      via the independent {!Noise.noise_slack} path (under
+      [noise_clean]).
+
+    [Ok report] is the ground-truth evaluation of the applied tree. *)

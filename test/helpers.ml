@@ -6,11 +6,10 @@ let lib = Tech.Lib.default_library
 
 (* A single-buffer library satisfying Theorem 5's assumptions against the
    sinks produced by [sink] below: c_in below every sink cap, margin below
-   every sink margin. *)
-let small_buffer =
-  Tech.Buffer.make ~name:"b0" ~inverting:false ~c_in:2e-15 ~r_b:100.0 ~d_b:30e-12 ~nm:0.6
+   every sink margin. Shared with the fuzz campaigns — see [Check.Gen]. *)
+let small_buffer = Check.Gen.small_buffer
 
-let single_lib = [ small_buffer ]
+let single_lib = Check.Gen.single_lib
 
 let feq ?(eps = 1e-9) = Alcotest.(check (float eps))
 
@@ -20,80 +19,29 @@ let feq_rel name ~eps a b =
 
 let case name f = Alcotest.test_case name `Quick f
 
-(* fixed random state: property tests are reproducible across runs *)
+(* fixed random state: property tests are reproducible across runs. The
+   seed hashes the whole case name — seeding on the name's length made
+   every same-length case replay the same stream. *)
 let qcase ?(count = 100) name gen prop =
   QCheck_alcotest.to_alcotest
-    ~rand:(Random.State.make [| 0xb0ff; String.length name |])
+    ~rand:(Random.State.make [| 0xb0ff; Hashtbl.hash name |])
     (QCheck2.Test.make ~count ~name gen prop)
+
+(* Random tree and instance generators now live in [Check.Gen] so the
+   fuzz campaigns, the corpus and these tests draw from one seeded
+   source; the aliases keep the historical test-local names. *)
 
 (* Random small trees whose sinks respect Theorem 5's assumptions wrt
    [small_buffer]: caps >= 5 fF, margins >= 0.7 V. *)
-let theorem5_tree rng =
-  let b = Rctree.Builder.create () in
-  let so =
-    Rctree.Builder.add_source b
-      ~r_drv:(Util.Rng.range rng 120.0 300.0)
-      ~d_drv:(Util.Rng.range rng 0.0 50e-12)
-  in
-  let wire () = Rctree.Tree.wire_of_length process (Util.Rng.range rng 0.3e-3 2.5e-3) in
-  let n_sinks = 1 + Util.Rng.int rng 3 in
-  let attach = ref [ so ] in
-  for k = 0 to n_sinks - 1 do
-    let parent = List.nth !attach (Util.Rng.int rng (List.length !attach)) in
-    let parent =
-      if Util.Rng.bool rng then begin
-        let v = Rctree.Builder.add_internal b ~parent ~wire:(wire ()) () in
-        attach := v :: !attach;
-        v
-      end
-      else parent
-    in
-    ignore
-      (Rctree.Builder.add_sink b ~parent ~wire:(wire ())
-         ~name:(Printf.sprintf "s%d" k)
-         ~c_sink:(Util.Rng.range rng 5e-15 40e-15)
-         ~rat:(Util.Rng.range rng 0.3e-9 1.5e-9)
-         ~nm:(Util.Rng.range rng 0.7 1.0))
-  done;
-  Rctree.Builder.finish b
+let theorem5_tree = Check.Gen.theorem5_tree
 
 (* Like [theorem5_tree] but with sink margins down to 0.4 V and longer
    wires: instances where no single library buffer satisfies Theorem 5's
    assumptions, so (load, slack)-only pruning can discard the lone
    noise-feasible candidate (the Alg3-vs-brute exactness tests). *)
-let lowmargin_tree rng =
-  let b = Rctree.Builder.create () in
-  let so =
-    Rctree.Builder.add_source b
-      ~r_drv:(Util.Rng.range rng 120.0 300.0)
-      ~d_drv:(Util.Rng.range rng 0.0 50e-12)
-  in
-  let wire () = Rctree.Tree.wire_of_length process (Util.Rng.range rng 0.3e-3 3.0e-3) in
-  let n_sinks = 1 + Util.Rng.int rng 3 in
-  let attach = ref [ so ] in
-  for k = 0 to n_sinks - 1 do
-    let parent = List.nth !attach (Util.Rng.int rng (List.length !attach)) in
-    let parent =
-      if Util.Rng.bool rng then begin
-        let v = Rctree.Builder.add_internal b ~parent ~wire:(wire ()) () in
-        attach := v :: !attach;
-        v
-      end
-      else parent
-    in
-    ignore
-      (Rctree.Builder.add_sink b ~parent ~wire:(wire ())
-         ~name:(Printf.sprintf "s%d" k)
-         ~c_sink:(Util.Rng.range rng 5e-15 40e-15)
-         ~rat:(Util.Rng.range rng 0.3e-9 1.5e-9)
-         ~nm:(Util.Rng.range rng 0.4 0.9))
-  done;
-  Rctree.Builder.finish b
+let lowmargin_tree = Check.Gen.lowmargin_tree
 
 (* Coarse segmenting that keeps brute-force enumeration tractable. *)
-let segment_for_brute tree =
-  let seg = Rctree.Segment.refine tree ~max_len:1.5e-3 in
-  let feasible = List.filter (Rctree.Tree.feasible seg) (Rctree.Tree.internals seg) in
-  if List.length feasible <= 9 then Some seg else None
+let segment_for_brute = Check.Gen.segment_for_brute
 
 let seeds n = List.init n (fun i -> 1000 + i)

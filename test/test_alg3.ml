@@ -21,11 +21,7 @@ let workload_gen =
    assumption against [lowmargin_tree] sinks: a fast low-margin buffer
    and a slow high-margin one. The optimum often needs the slow buffer
    even where the fast one wins on slack. *)
-let mixed_lib =
-  [
-    Tech.Buffer.make ~name:"fastlow" ~inverting:false ~c_in:2e-15 ~r_b:100.0 ~d_b:10e-12 ~nm:0.3;
-    Tech.Buffer.make ~name:"slowhigh" ~inverting:false ~c_in:3e-15 ~r_b:120.0 ~d_b:30e-12 ~nm:0.9;
-  ]
+let mixed_lib = Check.Gen.mixed_lib
 
 let mixed_lib_gen =
   QCheck2.Gen.(

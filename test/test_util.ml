@@ -19,6 +19,36 @@ let rng_tests =
         let a = Util.Rng.create 7 in
         let b = Util.Rng.split a in
         Alcotest.(check bool) "streams differ" true (Util.Rng.bits64 a <> Util.Rng.bits64 b));
+    case "split streams share no values" (fun () ->
+        (* independence, not just a differing first draw: the child's
+           stream and the parent's continued stream never collide over a
+           window (2^-56-ish collision odds for honest 64-bit streams) *)
+        let parent = Util.Rng.create 99 in
+        let child = Util.Rng.split parent in
+        let draw r = List.init 256 (fun _ -> Util.Rng.bits64 r) in
+        let from_child = draw child and from_parent = draw parent in
+        List.iter
+          (fun v ->
+            Alcotest.(check bool) "value reappears in parent stream" false
+              (List.mem v from_parent))
+          from_child);
+    case "copy replays the source byte for byte" (fun () ->
+        (* not just the next draw: after burning part of the stream, a
+           copy must track the original over a long window and across
+           every derived draw kind *)
+        let a = Util.Rng.create 13 in
+        for _ = 1 to 10 do
+          ignore (Util.Rng.bits64 a)
+        done;
+        let b = Util.Rng.copy a in
+        for i = 1 to 100 do
+          Alcotest.(check int64)
+            (Printf.sprintf "draw %d" i)
+            (Util.Rng.bits64 a) (Util.Rng.bits64 b)
+        done;
+        Alcotest.(check int) "int draw" (Util.Rng.int a 1000) (Util.Rng.int b 1000);
+        Alcotest.(check (float 0.0)) "float draw" (Util.Rng.float a 1.0) (Util.Rng.float b 1.0);
+        Alcotest.(check bool) "bool draw" (Util.Rng.bool a) (Util.Rng.bool b));
     qcase "int in range" QCheck2.Gen.(pair small_int (int_range 1 1000)) (fun (seed, n) ->
         let r = Util.Rng.create seed in
         let v = Util.Rng.int r n in
