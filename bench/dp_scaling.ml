@@ -45,6 +45,9 @@ type run = {
   generated : int;
   pruned : int;
   peak_width : int;
+  arena : int;
+  minor_words : float;
+  major_words : float;
 }
 
 let time_run ~iters f =
@@ -78,15 +81,22 @@ let scenario ~iters ~sinks ~noise ~kmax =
     generated = outcome.Bufins.Dp.stats.Bufins.Dp.generated;
     pruned = outcome.Bufins.Dp.stats.Bufins.Dp.pruned;
     peak_width = outcome.Bufins.Dp.stats.Bufins.Dp.peak_width;
+    arena = outcome.Bufins.Dp.stats.Bufins.Dp.arena;
+    (* per-run Gc deltas measured by the DP itself; minor words are the
+       allocation-pressure headline the trace-arena refactor targets *)
+    minor_words = outcome.Bufins.Dp.stats.Bufins.Dp.minor_words;
+    major_words = outcome.Bufins.Dp.stats.Bufins.Dp.major_words;
   }
 
 let json_of_run r =
   Printf.sprintf
     "    {\"name\": \"%s\", \"sinks\": %d, \"noise\": %b, \"kmax\": %s, \"wall_seconds\": %.6f, \
-     \"slack\": %.6e, \"generated\": %d, \"pruned\": %d, \"peak_width\": %d}"
+     \"slack\": %.6e, \"generated\": %d, \"pruned\": %d, \"peak_width\": %d, \
+     \"arena_nodes\": %d, \"minor_words\": %.0f, \"major_words\": %.0f}"
     r.name r.sinks r.noise
     (match r.kmax with None -> "null" | Some k -> string_of_int k)
-    r.seconds r.slack r.generated r.pruned r.peak_width
+    r.seconds r.slack r.generated r.pruned r.peak_width r.arena r.minor_words
+    r.major_words
 
 let () =
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
@@ -108,8 +118,11 @@ let () =
   in
   List.iter
     (fun r ->
-      Printf.printf "%-24s %10.3f s wall  slack %+.1f ps  generated %d  pruned %d  peak width %d\n%!"
-        r.name r.seconds (r.slack *. 1e12) r.generated r.pruned r.peak_width)
+      Printf.printf
+        "%-24s %10.3f s wall  slack %+.1f ps  generated %d  pruned %d  peak width %d  \
+         arena %d  alloc %.1f/%.1f Mwords minor/major\n%!"
+        r.name r.seconds (r.slack *. 1e12) r.generated r.pruned r.peak_width r.arena
+        (r.minor_words /. 1e6) (r.major_words /. 1e6))
     runs;
   let oc = open_out out_path in
   Printf.fprintf oc "{\n  \"engine\": \"frontier\",\n  \"smoke\": %b,\n  \"runs\": [\n%s\n  ]\n}\n"

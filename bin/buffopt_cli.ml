@@ -42,8 +42,13 @@ let run_cmd file algo seg_um kmax simulate =
       | Some r ->
           describe_report "optimized" r.Bufins.Buffopt.report;
           let s = r.Bufins.Buffopt.stats in
-          Printf.printf "engine: candidates generated=%d pruned=%d peak-frontier=%d\n"
-            s.Bufins.Dp.generated s.Bufins.Dp.pruned s.Bufins.Dp.peak_width;
+          Printf.printf
+            "engine: candidates generated=%d pruned=%d peak-frontier=%d trace-arena=%d \
+             alloc=%.1f/%.1f Mwords minor/major\n"
+            s.Bufins.Dp.generated s.Bufins.Dp.pruned s.Bufins.Dp.peak_width
+            s.Bufins.Dp.arena
+            (s.Bufins.Dp.minor_words /. 1e6)
+            (s.Bufins.Dp.major_words /. 1e6);
           List.iter
             (fun (p : Rctree.Surgery.placement) ->
               Printf.printf "  insert %s on the parent wire of node %d, %.1f um above it\n"

@@ -1,6 +1,9 @@
 module T = Rctree.Tree
 
-type cand = { i : float; ns : float; count : int; sol : Rctree.Surgery.placement list }
+(* Solutions live in a per-run Trace arena (like Dp's candidates): [tr]
+   names the solution, and the two merge shapes append one Join (plus a
+   Buf for a forced decoupling buffer) instead of copying lists. *)
+type cand = { i : float; ns : float; count : int; tr : Trace.handle }
 
 type result = {
   placements : Rctree.Surgery.placement list;
@@ -22,6 +25,8 @@ let prune cands = fst (Frontier.pareto_dom ~cmp ~cost:(fun c -> c.i) ~dominates 
 let run ~lib tree =
   let b = Tech.Lib.min_resistance lib in
   let r_b = b.Tech.Buffer.r_b and nm_b = b.Tech.Buffer.nm in
+  let arena = Trace.create () in
+  let join l r = Trace.join arena ~left:l.tr ~right:r.tr in
   let seen = ref 0 in
   let note cands =
     seen := !seen + List.length cands;
@@ -37,12 +42,19 @@ let run ~lib tree =
             Wireclimb.climb ~b ~node:v w { Wireclimb.i = c.i; ns = c.ns }
           with
           | st, placed ->
+              let tr =
+                List.fold_left
+                  (fun pred (p : Rctree.Surgery.placement) ->
+                    Trace.buf arena ~node:p.Rctree.Surgery.node ~dist:p.Rctree.Surgery.dist
+                      ~buffer:p.Rctree.Surgery.buffer ~pred)
+                  c.tr placed
+              in
               Some
                 {
                   i = st.Wireclimb.i;
                   ns = st.Wireclimb.ns;
                   count = c.count + List.length placed;
-                  sol = List.rev_append placed c.sol;
+                  tr;
                 }
           | exception Failure _ -> None)
         (at v)
@@ -52,7 +64,7 @@ let run ~lib tree =
   (* candidates at node [v] itself (bottom of its parent wire) *)
   and at v =
     match T.kind tree v with
-    | T.Sink s -> [ { i = 0.0; ns = s.T.nm; count = 0; sol = [] } ]
+    | T.Sink s -> [ { i = 0.0; ns = s.T.nm; count = 0; tr = Trace.leaf } ]
     | T.Buffered _ -> invalid_arg "Alg2.run: tree already contains buffers"
     | T.Source _ -> assert false
     | T.Internal -> (
@@ -73,7 +85,7 @@ let run ~lib tree =
             let i = l.i +. r.i and ns = Float.min l.ns r.ns in
             if r_b *. i <= ns +. 1e-12 then
               (* Step 7: merging is noise-safe *)
-              out := { i; ns; count = l.count + r.count; sol = List.rev_append l.sol r.sol } :: !out
+              out := { i; ns; count = l.count + r.count; tr = join l r } :: !out
             else begin
               (* Step 6: a buffer is forced immediately below [v] on one
                  branch; which branch is optimal depends on the upstream,
@@ -86,9 +98,9 @@ let run ~lib tree =
                       i;
                       ns;
                       count = decoupled.count + other.count + 1;
-                      sol =
-                        { Rctree.Surgery.node = side_node; dist = side_wire.T.length; buffer = b }
-                        :: List.rev_append decoupled.sol other.sol;
+                      tr =
+                        Trace.buf arena ~node:side_node ~dist:side_wire.T.length ~buffer:b
+                          ~pred:(join decoupled other);
                     }
                 else None
               in
@@ -109,8 +121,11 @@ let run ~lib tree =
   let decouple child (cand : cand) =
     (* buffer immediately below the source on [child]'s wire *)
     let w = T.wire_to tree child in
-    let p = { Rctree.Surgery.node = child; dist = w.T.length; buffer = b } in
-    { cand with count = cand.count + 1; sol = p :: cand.sol }
+    {
+      cand with
+      count = cand.count + 1;
+      tr = Trace.buf arena ~node:child ~dist:w.T.length ~buffer:b ~pred:cand.tr;
+    }
   in
   let finals =
     match T.children tree root with
@@ -131,7 +146,7 @@ let run ~lib tree =
           let plain =
             let i = l.i +. r.i and ns = Float.min l.ns r.ns in
             if r_drv *. i <= ns +. 1e-12 then
-              [ { i; ns; count = l.count + r.count; sol = List.rev_append l.sol r.sol } ]
+              [ { i; ns; count = l.count + r.count; tr = join l r } ]
             else []
           in
           let one_side (decoupled : cand) (other : cand) child =
@@ -140,7 +155,7 @@ let run ~lib tree =
               let joined =
                 {
                   decoupled with
-                  sol = List.rev_append decoupled.sol other.sol;
+                  tr = join decoupled other;
                   count = decoupled.count + other.count;
                 }
               in
@@ -149,9 +164,7 @@ let run ~lib tree =
             else []
           in
           let both =
-            let base =
-              { i = 0.0; ns = nm_b; count = l.count + r.count; sol = List.rev_append l.sol r.sol }
-            in
+            let base = { i = 0.0; ns = nm_b; count = l.count + r.count; tr = join l r } in
             [ decouple cr (decouple cl base) ]
           in
           List.concat [ plain; one_side l r cl; one_side r l cr; both ]
@@ -168,4 +181,4 @@ let run ~lib tree =
   with
   | [] -> failwith "Alg2.run: no feasible solution"
   | best :: _ ->
-      { placements = List.rev best.sol; count = best.count; candidates_seen = !seen }
+      { placements = Trace.placements arena best.tr; count = best.count; candidates_seen = !seen }

@@ -1,18 +1,18 @@
 module T = Rctree.Tree
 
-type t = {
-  c : float;
-  q : float;
-  i : float;
-  ns : float;
-  parity : int;
-  count : int;
-  sol : Rctree.Surgery.placement list;
-  sizes : (int * float) list;
-}
+(* All six fields are floats so the record is stored flat (one header
+   plus six unboxed doubles); adding any immediate field would box every
+   float behind a pointer and triple the allocation per candidate. meta
+   and tr hold small non-negative ints exactly: meta = 2*count + parity,
+   tr = the solution's Trace.handle. *)
+type t = { c : float; q : float; i : float; ns : float; meta : float; tr : float }
+
+let parity a = int_of_float a.meta land 1
+let count a = int_of_float a.meta asr 1
+let trace a = int_of_float a.tr
 
 let of_sink (s : T.sink) =
-  { c = s.T.c_sink; q = s.T.rat; i = 0.0; ns = s.T.nm; parity = 0; count = 0; sol = []; sizes = [] }
+  { c = s.T.c_sink; q = s.T.rat; i = 0.0; ns = s.T.nm; meta = 0.0; tr = float_of_int Trace.leaf }
 
 let add_wire (w : T.wire) a =
   {
@@ -23,40 +23,43 @@ let add_wire (w : T.wire) a =
     ns = a.ns -. (w.T.res *. (a.i +. (w.T.cur /. 2.0)));
   }
 
-let add_buffer ~at (b : Tech.Buffer.t) a =
+let add_buffer ~arena ~at (b : Tech.Buffer.t) a =
+  (* meta + 2 bumps the count; the xor flips the parity bit only *)
+  let m = int_of_float a.meta + 2 in
+  let m = if b.Tech.Buffer.inverting then m lxor 1 else m in
   {
     c = b.Tech.Buffer.c_in;
     q = a.q -. Tech.Buffer.gate_delay b ~load:a.c;
     i = 0.0;
     ns = b.Tech.Buffer.nm;
-    parity = (if b.Tech.Buffer.inverting then 1 - a.parity else a.parity);
-    count = a.count + 1;
-    sol = { Rctree.Surgery.node = at; dist = 0.0; buffer = b } :: a.sol;
-    sizes = a.sizes;
+    meta = float_of_int m;
+    tr = float_of_int (Trace.buf arena ~node:at ~dist:0.0 ~buffer:b ~pred:(trace a));
   }
+
+let resize ~arena ~node ~width a =
+  { a with tr = float_of_int (Trace.resize arena ~node ~width ~pred:(trace a)) }
 
 let add_driver (d : T.driver) a = { a with q = a.q -. (d.T.d_drv +. (d.T.r_drv *. a.c)) }
 
 let noise_ok ?(eps = 1e-12) ~r_gate a = r_gate *. a.i <= a.ns +. eps
 
-let merge a b =
-  assert (a.parity = b.parity);
+let merge ~arena a b =
+  assert (parity a = parity b);
   {
     c = a.c +. b.c;
     q = Float.min a.q b.q;
     i = a.i +. b.i;
     ns = Float.min a.ns b.ns;
-    parity = a.parity;
-    count = a.count + b.count;
-    sol = List.rev_append a.sol b.sol;
-    sizes = List.rev_append a.sizes b.sizes;
+    (* counts add, the shared parity must not be counted twice *)
+    meta = a.meta +. b.meta -. float_of_int (parity a);
+    tr = float_of_int (Trace.join arena ~left:(trace a) ~right:(trace b));
   }
 
 let dominates a b = a.c <= b.c && a.q >= b.q
 
 let dominates_full a b = a.c <= b.c && a.q >= b.q && a.i <= b.i && a.ns >= b.ns
 
-let dominates_noise a b = a.i <= b.i && a.ns >= b.ns && a.count <= b.count
+let dominates_noise a b = a.i <= b.i && a.ns >= b.ns && count a <= count b
 
 let cmp_frontier a b =
   match Float.compare a.c b.c with
@@ -125,7 +128,104 @@ let sweep_noise l =
   in
   go [] l
 
-let merge_delay l r =
+let merge_sweep_delay runs =
+  (* = sweep_delay (Frontier.merge_sorted cmp_frontier runs), with the
+     merged intermediate never materialized: a k-way selection on the
+     run heads feeds the staircase push directly. Ties go to the
+     earliest run — exactly the order the stable balanced pairwise
+     List.merge produces — so the survivors (and their trace handles)
+     are identical to the unfused composition. *)
+  let runs = Array.of_list runs in
+  let n = Array.length runs in
+  let dropped = ref 0 in
+  let pop () =
+    let best = ref (-1) in
+    for j = 0 to n - 1 do
+      match runs.(j) with
+      | [] -> ()
+      | x :: _ -> (
+          if !best < 0 then best := j
+          else
+            match runs.(!best) with
+            | y :: _ -> if cmp_frontier x y < 0 then best := j
+            | [] -> assert false)
+    done;
+    match !best with
+    | -1 -> None
+    | j -> (
+        match runs.(j) with
+        | x :: tl ->
+            runs.(j) <- tl;
+            Some x
+        | [] -> assert false)
+  in
+  let push kept x =
+    match kept with
+    | k :: tl when k.c = x.c && k.q <= x.q -> (
+        incr dropped;
+        match tl with
+        | k2 :: _ when k2.q >= x.q ->
+            incr dropped;
+            tl
+        | _ -> x :: tl)
+    | k :: _ when k.q >= x.q ->
+        incr dropped;
+        kept
+    | _ -> x :: kept
+  in
+  let rec go kept = match pop () with None -> (List.rev kept, !dropped) | Some x -> go (push kept x) in
+  go []
+
+let splice_delay group cands =
+  (* = sweep_delay (List.merge cmp_frontier group cands) when [group] is
+     already a swept staircase (strictly increasing c and q — every
+     group between sweeps is). Once [cands] is exhausted and the newest
+     survivor can neither be retro-killed by nor dominate the next group
+     element, the rest of the staircase is final and is returned as-is:
+     the common case (a few buffer insertions near the front of a wide
+     frontier) shares almost the whole group tail instead of re-consing
+     it. Drop counting is identical to the unfused composition. *)
+  let dropped = ref 0 in
+  let push kept x =
+    match kept with
+    | k :: tl when k.c = x.c && k.q <= x.q -> (
+        incr dropped;
+        match tl with
+        | k2 :: _ when k2.q >= x.q ->
+            incr dropped;
+            tl
+        | _ -> x :: tl)
+    | k :: _ when k.q >= x.q ->
+        incr dropped;
+        kept
+    | _ -> x :: kept
+  in
+  let rec go kept g c =
+    match c with
+    | [] -> finish kept g
+    | x :: ctl -> (
+        match g with
+        | [] -> go (push kept x) [] ctl
+        | y :: gtl ->
+            if cmp_frontier y x <= 0 then go (push kept y) gtl c
+            else go (push kept x) g ctl)
+  and finish kept g =
+    match g with
+    | [] -> (List.rev kept, !dropped)
+    | y :: gtl -> (
+        match kept with
+        | k :: _ when k.c = y.c -> finish (push kept y) gtl
+        | k :: _ when k.q >= y.q ->
+            incr dropped;
+            finish kept gtl
+        | _ ->
+            (* y survives and, by the staircase invariant, so does all
+               of gtl: share the tail *)
+            (List.rev_append kept g, !dropped))
+  in
+  go [] group cands
+
+let merge_delay ~arena l r =
   (* both inputs sorted by cmp_frontier (load ascending, so slack
      ascending along a pruned frontier); advance the lower-slack side —
      the classic linear merge. Returns the pairing count for stats. *)
@@ -133,7 +233,7 @@ let merge_delay l r =
     match (l, r) with
     | [], _ | _, [] -> (List.rev acc, n)
     | a :: ltl, b :: rtl ->
-        let acc = merge a b :: acc in
+        let acc = merge ~arena a b :: acc in
         if a.q < b.q then go (n + 1) acc ltl r
         else if b.q < a.q then go (n + 1) acc l rtl
         else go (n + 1) acc ltl rtl

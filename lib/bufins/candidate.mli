@@ -4,34 +4,52 @@
     [(load, slack, current, noise slack, solution)] extended with the
     polarity parity needed for inverting buffers (Lillis et al. [18]) and
     the count of inserted buffers (the Lillis indexed extension used by
-    BuffOpt for Problem 3). Algorithm 2 candidates use only the
-    [(current, noise slack, solution)] projection. *)
+    BuffOpt for Problem 3). The solution itself is not carried: the
+    candidate holds a {!Trace.handle} into the run's arena, and merge /
+    add_buffer record one arena node instead of copying lists. *)
 
 type t = {
   c : float;  (** downstream load seen here, F (eq. 1) *)
   q : float;  (** timing slack: min downstream [rat - delay-to-sink], s *)
   i : float;  (** downstream coupled current, A (eq. 7) *)
   ns : float;  (** noise slack, V (eq. 12) *)
-  parity : int;  (** signal inversions accumulated below: 0 or 1 *)
-  count : int;  (** buffers inserted in [sol] *)
-  sol : Rctree.Surgery.placement list;
-  sizes : (int * float) list;  (** wire-sizing choices: node, width (Lillis [18]) *)
+  meta : float;  (** [2*count + parity], an exact small int; see {!count} *)
+  tr : float;  (** solution {!Trace.handle}, an exact small int; see {!trace} *)
 }
+(** Deliberately all-float: an OCaml record whose fields are all floats
+    is stored flat (header + unboxed doubles, 7 words here), while one
+    immediate field would force a boxed double per float field (17 words).
+    [meta] and [tr] stay exact because counts and handles are far below
+    2{^52}. *)
+
+val parity : t -> int
+(** Signal inversions accumulated below: 0 or 1. *)
+
+val count : t -> int
+(** Buffers inserted in the candidate's solution. *)
+
+val trace : t -> Trace.handle
+(** The solution's node in the run's {!Trace} arena. *)
 
 val of_sink : Rctree.Tree.sink -> t
+(** Leaf candidate; its trace handle is {!Trace.leaf}. *)
 
 val add_wire : Rctree.Tree.wire -> t -> t
 (** Propagate a candidate from a wire's target to its driving end:
     [c += cap], [q -= res*(cap/2 + c)], [i += cur],
     [ns -= res*(i + cur/2)] (eqs. 2 and 8). *)
 
-val add_buffer : at:int -> Tech.Buffer.t -> t -> t
+val add_buffer : arena:Trace.arena -> at:int -> Tech.Buffer.t -> t -> t
 (** Insert a buffer at node [at] on top of the candidate: the new stage
     sees [c_in], slack drops by the gate delay into the old load, current
     resets to zero, noise slack resets to the buffer's margin, parity
-    flips for inverting buffers. Performs no noise check — callers decide
-    (that check is exactly what distinguishes Algorithm 3 from Van
-    Ginneken). *)
+    flips for inverting buffers; one [Buf] node is appended to [arena].
+    Performs no noise check — callers decide (that check is exactly what
+    distinguishes Algorithm 3 from Van Ginneken). *)
+
+val resize : arena:Trace.arena -> node:int -> width:float -> t -> t
+(** Record a wire-sizing decision (Lillis [18]) on the solution trace;
+    the numeric coordinates are the caller's business. *)
 
 val add_driver : Rctree.Tree.driver -> t -> t
 (** Account for the source gate: [q -= d_drv + r_drv*c]. Noise is the
@@ -41,9 +59,10 @@ val noise_ok : ?eps:float -> r_gate:float -> t -> bool
 (** Would a gate with output resistance [r_gate] driving this candidate
     respect every downstream noise margin? ([r_gate *. i <= ns +. eps]) *)
 
-val merge : t -> t -> t
+val merge : arena:Trace.arena -> t -> t -> t
 (** Join the two branches at a node: loads and currents add, slacks take
-    the minimum, solutions concatenate. Parities must agree. *)
+    the minimum, counts add, and one [Join] node is appended to [arena].
+    Parities must agree. *)
 
 val dominates : t -> t -> bool
 (** [dominates a b]: [a] is at least as good as [b] on load and slack
@@ -63,7 +82,7 @@ val dominates_full : t -> t -> bool
 
 val dominates_noise : t -> t -> bool
 (** Algorithm 2 dominance: [a.i <= b.i], [a.ns >= b.ns] and
-    [a.count <= b.count] (the count guard makes the minimum-buffer
+    [count a <= count b] (the count guard makes the minimum-buffer
     selection safe). *)
 
 val cmp_frontier : t -> t -> int
@@ -87,7 +106,24 @@ val sweep_noise : t list -> t list * int
 (** [Frontier.sweep_dom ~cost:c ~dominates:dominates_full] on a
     [cmp_frontier]-sorted list: the noise-mode 4D sweep. *)
 
-val merge_delay : t list -> t list -> t list * int
-(** [Frontier.merge2 ~value:q ~join:merge] on two sorted frontiers: the
-    Van Ginneken linear branch-merge walk. Returns the pairings and
-    their count (for the generated-candidates statistic). *)
+val merge_sweep_delay : t list list -> t list * int
+(** [sweep_delay (Frontier.merge_sorted cmp_frontier runs)] without ever
+    materializing the merged intermediate list: a k-way head selection
+    (ties to the earliest run, matching the stable pairwise merge) feeds
+    the staircase push directly. Returns (kept, dropped). The DP's
+    branch-merge and buffer-splice paths allocate only the survivors
+    this way. *)
+
+val splice_delay : t list -> t list -> t list * int
+(** [splice_delay group cands] =
+    [sweep_delay (List.merge cmp_frontier group cands)] for a [group]
+    that is already a swept (load, slack) staircase. Splices the sorted
+    [cands] in and re-shares the unaffected tail of [group] instead of
+    re-consing the whole frontier — the buffer-insertion path's
+    dominant allocation before this existed. Returns (kept, dropped)
+    with drop counts identical to the unfused composition. *)
+
+val merge_delay : arena:Trace.arena -> t list -> t list -> t list * int
+(** [Frontier.merge2 ~value:q ~join:(merge ~arena)] on two sorted
+    frontiers: the Van Ginneken linear branch-merge walk. Returns the
+    pairings and their count (for the generated-candidates statistic). *)

@@ -6,7 +6,14 @@ type mode = Single | Per_count of int
 
 type mutation = Cq_noise_prune | No_attach_guard
 
-type stats = { generated : int; pruned : int; peak_width : int }
+type stats = {
+  generated : int;
+  pruned : int;
+  peak_width : int;
+  arena : int;
+  minor_words : float;
+  major_words : float;
+}
 
 type result = {
   slack : float;
@@ -27,7 +34,11 @@ type outcome = { best : result option; by_count : result option array; stats : s
    Pruning is therefore a single linear sweep per group — (c, q)
    staircase in delay mode, full (c, q, i, ns) dominance in noise mode
    (see Candidate.dominates_full for why delay-mode pruning loses
-   noise-feasible solutions). *)
+   noise-feasible solutions).
+
+   Candidates are flat float records; their solutions live in a per-run
+   Trace arena and only the winning root candidates are reconstructed
+   into placement lists, at the very end. *)
 
 let ns_eps = 1e-12
 
@@ -36,6 +47,8 @@ let run ?(prune = true) ?(widths = [ 1.0 ]) ?(area_frac = 0.4) ?mutation ~noise 
     invalid_arg "Dp.run: widths must be >= 1";
   if lib = [] then invalid_arg "Dp.run: empty buffer library";
   if T.buffer_count tree > 0 then invalid_arg "Dp.run: tree already contains buffers";
+  let gc0 = Gc.quick_stat () in
+  let arena = Trace.create () in
   (* mutation smoke (DESIGN.md §10): deliberately broken variants used
      only to prove the Check subsystem catches them *)
   let cq_prune = mutation = Some Cq_noise_prune in
@@ -46,7 +59,7 @@ let run ?(prune = true) ?(widths = [ 1.0 ]) ?(area_frac = 0.4) ?mutation ~noise 
     | Per_count k -> (true, k, k + 1)
   in
   let nslots = 2 * nbuckets in
-  let slot (a : C.t) = (if counted then 2 * a.C.count else 0) + a.C.parity in
+  let slot (a : C.t) = (if counted then 2 * C.count a else 0) + C.parity a in
   let generated = ref 0 and pruned = ref 0 and peak_width = ref 0 in
   let sweep cands =
     if not prune then cands
@@ -68,6 +81,26 @@ let run ?(prune = true) ?(widths = [ 1.0 ]) ?(area_frac = 0.4) ?mutation ~noise 
           (incr pruned;
            false))
         cands
+  in
+  (* One scan state for the whole run: the per-(group, type) best-slack
+     scans of insert_buffers touch every candidate once per buffer type,
+     so their working state must not allocate per scan. The running
+     slack lives in a float array (unboxed stores) and the best
+     candidate in a ref (pointer store); [scan_s.(0) > neg_infinity]
+     doubles as the found flag. *)
+  let scan_s = Array.make 1 neg_infinity in
+  let scan_best = ref { C.c = 0.0; q = 0.0; i = 0.0; ns = 0.0; meta = 0.0; tr = 0.0 } in
+  let rec scan (b : Tech.Buffer.t) = function
+    | [] -> ()
+    | (a : C.t) :: tl ->
+        (if not (noise && attach_guard && not (C.noise_ok ~r_gate:b.Tech.Buffer.r_b a))
+         then
+           let s = a.C.q -. Tech.Buffer.gate_delay b ~load:a.C.c in
+           if s > scan_s.(0) then begin
+             scan_best := a;
+             scan_s.(0) <- s
+           end);
+        scan b tl
   in
   let note_width tbl =
     Array.iter
@@ -97,7 +130,7 @@ let run ?(prune = true) ?(widths = [ 1.0 ]) ?(area_frac = 0.4) ?mutation ~noise 
                       let sized = T.resize_wire w ~width ~area_frac in
                       List.map
                         (fun (a : C.t) ->
-                          { (C.add_wire sized a) with C.sizes = (at, width) :: a.C.sizes })
+                          C.resize ~arena ~node:at ~width (C.add_wire sized a))
                         group
                     end)
                   widths
@@ -128,10 +161,10 @@ let run ?(prune = true) ?(widths = [ 1.0 ]) ?(area_frac = 0.4) ?mutation ~noise 
               | rgroup ->
                   let pairs, n =
                     if exhaustive then begin
-                      let ps = F.cross ~join:C.merge lgroup rgroup in
+                      let ps = F.cross ~join:(C.merge ~arena) lgroup rgroup in
                       (ps, List.length ps)
                     end
-                    else C.merge_delay lgroup rgroup
+                    else C.merge_delay ~arena lgroup rgroup
                   in
                   generated := !generated + n;
                   let target = (if counted then 2 * (kl + kr) else 0) + p in
@@ -144,11 +177,15 @@ let run ?(prune = true) ?(widths = [ 1.0 ]) ?(area_frac = 0.4) ?mutation ~noise 
         match rs with
         | [] -> []
         | _ ->
-            let combined =
-              if exhaustive then List.sort C.cmp_frontier (List.concat rs)
-              else F.merge_sorted C.cmp_frontier rs
-            in
-            sweep combined)
+            if exhaustive then sweep (List.sort C.cmp_frontier (List.concat rs))
+            else if prune then begin
+              (* non-exhaustive + prune always staircase-sweeps, so the
+                 fused k-way merge avoids the merged intermediate *)
+              let kept, dropped = C.merge_sweep_delay rs in
+              pruned := !pruned + dropped;
+              kept
+            end
+            else F.merge_sorted C.cmp_frontier rs)
       runs
   in
   (* Step 5 (Figs. 5 and 11): buffer insertions at a feasible node. All
@@ -172,23 +209,14 @@ let run ?(prune = true) ?(widths = [ 1.0 ]) ?(area_frac = 0.4) ?mutation ~noise 
             if sl asr 1 < kmax then
               List.iter
                 (fun (b : Tech.Buffer.t) ->
-                  let r_b = b.Tech.Buffer.r_b in
-                  let rec scan best best_s = function
-                    | [] -> best
-                    | (a : C.t) :: tl ->
-                        if noise && attach_guard && not (C.noise_ok ~r_gate:r_b a) then
-                          scan best best_s tl
-                        else
-                          let s = a.C.q -. Tech.Buffer.gate_delay b ~load:a.C.c in
-                          if s > best_s then scan (Some a) s tl else scan best best_s tl
-                  in
-                  match scan None neg_infinity group with
-                  | None -> ()
-                  | Some a ->
-                      let cand = C.add_buffer ~at:v b a in
-                      incr generated;
-                      let target = slot cand in
-                      additions.(target) <- cand :: additions.(target))
+                  scan_s.(0) <- neg_infinity;
+                  scan b group;
+                  if scan_s.(0) > neg_infinity then begin
+                    let cand = C.add_buffer ~arena ~at:v b !scan_best in
+                    incr generated;
+                    let target = slot cand in
+                    additions.(target) <- cand :: additions.(target)
+                  end)
                 lib)
       tbl;
     Array.iteri
@@ -197,7 +225,12 @@ let run ?(prune = true) ?(widths = [ 1.0 ]) ?(area_frac = 0.4) ?mutation ~noise 
         | [] -> ()
         | _ ->
             let cands = List.sort C.cmp_frontier cands in
-            tbl.(sl) <- sweep (List.merge C.cmp_frontier tbl.(sl) cands))
+            if prune && ((not noise) || cq_prune) then begin
+              let kept, dropped = C.splice_delay tbl.(sl) cands in
+              pruned := !pruned + dropped;
+              tbl.(sl) <- kept
+            end
+            else tbl.(sl) <- sweep (List.merge C.cmp_frontier tbl.(sl) cands))
       additions;
     tbl
   in
@@ -246,26 +279,43 @@ let run ?(prune = true) ?(widths = [ 1.0 ]) ?(area_frac = 0.4) ?mutation ~noise 
               finals := C.add_driver d a :: !finals)
           group)
     top;
-  let stats = { generated = !generated; pruned = !pruned; peak_width = !peak_width } in
-  let by_count = Array.make nbuckets None in
+  (* Winners first, reconstruction after: only the per-bucket best
+     candidate pays the arena walk. The tie-break (keep the earlier
+     candidate on equal slack) matches the old eager-result selection. *)
+  let winners = Array.make nbuckets None in
   let consider (a : C.t) =
-    let idx = if counted then a.C.count else 0 in
+    let idx = if counted then C.count a else 0 in
     if idx < nbuckets then begin
-      let r =
-        {
-          slack = a.C.q;
-          placements = List.rev a.C.sol;
-          sizes = a.C.sizes;
-          count = a.C.count;
-          stats;
-        }
-      in
-      match by_count.(idx) with
-      | Some prev when prev.slack >= r.slack -> ()
-      | Some _ | None -> by_count.(idx) <- Some r
+      match winners.(idx) with
+      | Some (prev : C.t) when prev.C.q >= a.C.q -> ()
+      | Some _ | None -> winners.(idx) <- Some a
     end
   in
   List.iter consider !finals;
+  let reconstructed =
+    Array.map
+      (Option.map (fun (a : C.t) ->
+           let h = C.trace a in
+           (a.C.q, Trace.placements arena h, Trace.sizes arena h, C.count a)))
+      winners
+  in
+  let gc1 = Gc.quick_stat () in
+  let stats =
+    {
+      generated = !generated;
+      pruned = !pruned;
+      peak_width = !peak_width;
+      arena = Trace.size arena;
+      minor_words = gc1.Gc.minor_words -. gc0.Gc.minor_words;
+      major_words = gc1.Gc.major_words -. gc0.Gc.major_words;
+    }
+  in
+  let by_count =
+    Array.map
+      (Option.map (fun (slack, placements, sizes, count) ->
+           { slack; placements; sizes; count; stats }))
+      reconstructed
+  in
   let best =
     Array.fold_left
       (fun acc r ->

@@ -23,7 +23,12 @@
     (load, slack, current, noise-slack) dominance and merges branch
     pairings exhaustively, because a candidate or pairing off the
     (load, slack) frontier can carry the only noise slack that survives
-    the upstream wires (see {!Candidate.dominates_full}). *)
+    the upstream wires (see {!Candidate.dominates_full}).
+
+    Candidates are flat float records whose solutions live in a per-run
+    {!Trace} arena; placement lists are reconstructed only for the
+    winning root candidates, so [result] still exposes eager placement
+    and sizing lists while the DP itself never copies a solution. *)
 
 type mode =
   | Single  (** one candidate list per parity; unbounded buffer count *)
@@ -55,6 +60,18 @@ type stats = {
   peak_width : int;
       (** widest single (parity, bucket) frontier observed at any node —
           the engine's working-set measure *)
+  arena : int;
+      (** solution-trace arena nodes recorded this run (DESIGN.md §11):
+          one per buffer insertion, branch-merge pairing and wire-sizing
+          decision that was actually materialized *)
+  minor_words : float;
+      (** words allocated on the minor heap during the run
+          ([Gc.quick_stat] delta, winner reconstruction included) *)
+  major_words : float;
+      (** words allocated directly on or promoted to the major heap
+          during the run; depends on GC timing, so it is reported but
+          kept out of anything that must be deterministic (e.g.
+          [Engine.signature]) *)
 }
 
 type result = {

@@ -7,6 +7,14 @@ type report = {
   worst_noise_ratio : float;
 }
 
+(* A zero (or denormal, or negative) margin makes [noise /. m] overflow
+   to inf — or produce nan when the noise is also zero, and a nan
+   poisons the Float.max fold. Define the ratio directly there: any
+   noise against a degenerate margin is an unbounded violation; no
+   noise satisfies even a zero margin. *)
+let noise_ratio noise m =
+  if m >= Float.min_float then noise /. m else if noise > 0.0 then Float.infinity else 0.0
+
 let of_tree tree =
   let leaves = Noise.leaf_noise tree in
   {
@@ -16,7 +24,7 @@ let of_tree tree =
     worst_delay = Elmore.worst_delay tree;
     noise_violations = List.filter (fun (_, noise, m) -> noise > m +. 1e-9) leaves;
     worst_noise_ratio =
-      List.fold_left (fun acc (_, noise, m) -> Float.max acc (noise /. m)) 0.0 leaves;
+      List.fold_left (fun acc (_, noise, m) -> Float.max acc (noise_ratio noise m)) 0.0 leaves;
   }
 
 let apply tree placements = of_tree (Rctree.Surgery.apply tree placements)

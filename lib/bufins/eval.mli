@@ -11,7 +11,10 @@ type report = {
   slack : float;  (** eq. (5) timing slack at the source *)
   worst_delay : float;
   noise_violations : (int * float * float) list;  (** node, noise, margin *)
-  worst_noise_ratio : float;  (** max over leaves of noise / margin *)
+  worst_noise_ratio : float;
+      (** max over leaves of noise / margin; a leaf whose margin is zero,
+          denormal or negative contributes [infinity] when it sees any
+          noise and [0.] otherwise (never [nan]) *)
 }
 
 val apply : Rctree.Tree.t -> Rctree.Surgery.placement list -> report

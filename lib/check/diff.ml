@@ -240,6 +240,54 @@ let dp_invariants ?mutation (inst : Instance.t) =
     failf "stats: pruned %d out of %d generated" s.Dp.pruned s.Dp.generated;
   if s.Dp.peak_width <= 0 || s.Dp.peak_width > s.Dp.generated then
     failf "stats: peak width %d vs %d generated" s.Dp.peak_width s.Dp.generated;
+  if s.Dp.arena <= 0 then failf "stats: trace arena size %d" s.Dp.arena;
+  if s.Dp.minor_words < 0.0 then failf "stats: minor words %.0f" s.Dp.minor_words;
+  Pass
+
+(* The trace-arena oracle: the DP no longer carries placement lists on
+   its candidates, it reconstructs the winners from the solution-trace
+   arena at the end of the run. Whatever that reconstruction returns is
+   re-applied to the tree and re-evaluated from scratch with Eval (Elmore
+   + Devgan); the claimed count, slack and — in noise mode — noise
+   cleanliness must all be reproduced exactly. A bug anywhere on the
+   trace path (wrong predecessor handle, missed Join branch, stale
+   Resize) shows up here as a placement list that does not rebuild the
+   claimed numbers. *)
+let dp_trace ?mutation (inst : Instance.t) =
+  let lib = inst.Instance.lib in
+  let seg = segmented inst in
+  let check ~what ~noise (r : Dp.result) =
+    if List.length r.Dp.placements <> r.Dp.count then
+      failf "%s: %d placements for a claimed count of %d" what
+        (List.length r.Dp.placements) r.Dp.count;
+    let rep = Bufins.Eval.apply seg r.Dp.placements in
+    if rep.Bufins.Eval.buffers <> r.Dp.count then
+      failf "%s: applied tree holds %d buffers, claimed %d" what
+        rep.Bufins.Eval.buffers r.Dp.count;
+    if not (approx rep.Bufins.Eval.slack r.Dp.slack) then
+      failf "%s: re-evaluated slack %.17g does not reproduce the claimed %.17g" what
+        rep.Bufins.Eval.slack r.Dp.slack;
+    if noise && not (Bufins.Eval.noise_clean rep) then
+      failf "%s: claimed noise-clean winner violates %d margins (worst ratio %.3f)" what
+        (List.length rep.Bufins.Eval.noise_violations)
+        rep.Bufins.Eval.worst_noise_ratio;
+    if r.Dp.stats.Dp.arena <= 0 then
+      failf "%s: trace arena size %d" what r.Dp.stats.Dp.arena
+  in
+  (match (Dp.run ?mutation ~noise:false ~mode:Dp.Single ~lib seg).Dp.best with
+  | Some r -> check ~what:"delay winner" ~noise:false r
+  | None -> failf "delay-mode DP returned no solution");
+  (match (Dp.run ?mutation ~noise:true ~mode:Dp.Single ~lib seg).Dp.best with
+  | Some r -> check ~what:"noise winner" ~noise:true r
+  | None -> ());
+  let o = Dp.run ?mutation ~noise:true ~mode:(Dp.Per_count 8) ~lib seg in
+  Array.iteri
+    (fun k -> function
+      | None -> ()
+      | Some (r : Dp.result) ->
+          if r.Dp.count <> k then failf "bucket %d holds a %d-buffer solution" k r.Dp.count;
+          check ~what:(Printf.sprintf "bucket-%d winner" k) ~noise:true r)
+    o.Dp.by_count;
   Pass
 
 let run ?mutation (inst : Instance.t) =
@@ -256,6 +304,7 @@ let run ?mutation (inst : Instance.t) =
     | Instance.Alg3_vs_vangin -> alg3_vs_vangin ?mutation inst
     | Instance.Buffopt_problem3 -> buffopt_problem3 ?mutation inst
     | Instance.Dp_invariants -> dp_invariants ?mutation inst
+    | Instance.Dp_trace -> dp_trace ?mutation inst
   with
   | v -> tag v
   | exception Failed m -> tag (Fail m)

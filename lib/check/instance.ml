@@ -7,6 +7,7 @@ type oracle =
   | Alg3_vs_vangin
   | Buffopt_problem3
   | Dp_invariants
+  | Dp_trace
 
 let all_oracles =
   [
@@ -16,6 +17,7 @@ let all_oracles =
     Alg3_vs_vangin;
     Buffopt_problem3;
     Dp_invariants;
+    Dp_trace;
   ]
 
 let oracle_name = function
@@ -25,6 +27,7 @@ let oracle_name = function
   | Alg3_vs_vangin -> "alg3-vs-vangin"
   | Buffopt_problem3 -> "buffopt-problem3"
   | Dp_invariants -> "dp-invariants"
+  | Dp_trace -> "dp-trace"
 
 let oracle_of_name s = List.find_opt (fun o -> oracle_name o = s) all_oracles
 

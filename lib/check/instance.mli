@@ -24,6 +24,11 @@ type oracle =
   | Dp_invariants
       (** every DP driver's solution passes {!Invariant.check}; pruning
           does not change the optimum on small trees; stats sane *)
+  | Dp_trace
+      (** the winner the DP reconstructs from its trace arena is the
+          solution it claims: re-applied and re-evaluated from scratch,
+          the placement list has exactly [count] entries and reproduces
+          the claimed slack, and a noise-mode winner is noise-clean *)
 
 val all_oracles : oracle list
 

@@ -98,6 +98,7 @@ let optimize ?domains ?chunk ?retries ?seg_len ?kmax ~algorithm ~lib jobs =
   let ok = ref 0 and failed = ref 0 and buffers = ref 0 in
   let worst = ref infinity in
   let gen = ref 0 and pruned = ref 0 and peak = ref 0 in
+  let arena = ref 0 and minor = ref 0.0 and major = ref 0.0 in
   Array.iter
     (fun { outcome; _ } ->
       match outcome with
@@ -108,7 +109,10 @@ let optimize ?domains ?chunk ?retries ?seg_len ?kmax ~algorithm ~lib jobs =
           let s = r.Bufins.Buffopt.stats in
           gen := !gen + s.Bufins.Dp.generated;
           pruned := !pruned + s.Bufins.Dp.pruned;
-          peak := max !peak s.Bufins.Dp.peak_width
+          peak := max !peak s.Bufins.Dp.peak_width;
+          arena := !arena + s.Bufins.Dp.arena;
+          minor := !minor +. s.Bufins.Dp.minor_words;
+          major := !major +. s.Bufins.Dp.major_words
       | Failed _ -> incr failed)
     results;
   {
@@ -117,7 +121,15 @@ let optimize ?domains ?chunk ?retries ?seg_len ?kmax ~algorithm ~lib jobs =
     failed = !failed;
     buffers = !buffers;
     worst_slack = !worst;
-    dp = { Bufins.Dp.generated = !gen; pruned = !pruned; peak_width = !peak };
+    dp =
+      {
+        Bufins.Dp.generated = !gen;
+        pruned = !pruned;
+        peak_width = !peak;
+        arena = !arena;
+        minor_words = !minor;
+        major_words = !major;
+      };
     timing;
   }
 
@@ -127,6 +139,9 @@ let failed_nets r =
          match outcome with Failed _ -> Some net | Done _ -> None)
 
 let signature r =
+  (* determinism contract: only verdict fields — never timing and never
+     the Gc words (major_words depends on collector scheduling, which
+     varies across domain counts) *)
   let b = Buffer.create (64 * (Array.length r.results + 1)) in
   Array.iter
     (fun { net; outcome } ->
@@ -151,8 +166,12 @@ let summary r =
   Printf.sprintf
     "batch: %d nets optimized, %d infeasible/failed | %d buffers | worst \
      predicted slack %.1f ps | %d domains, %.3f s wall (%.1f nets/s), per-net \
-     %.2f/%.2f/%.2f ms min/mean/max"
+     %.2f/%.2f/%.2f ms min/mean/max | dp alloc %.1f/%.1f Mwords minor/major, \
+     %d trace nodes"
     r.ok r.failed r.buffers
     (if r.ok = 0 then nan else r.worst_slack *. 1e12)
     t.domains t.wall_s t.jobs_per_s (t.lat_min_s *. 1e3) (t.lat_mean_s *. 1e3)
     (t.lat_max_s *. 1e3)
+    (r.dp.Bufins.Dp.minor_words /. 1e6)
+    (r.dp.Bufins.Dp.major_words /. 1e6)
+    r.dp.Bufins.Dp.arena

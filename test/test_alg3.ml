@@ -141,6 +141,65 @@ let tests =
             | None, Some _ -> Alcotest.failf "seed %d: DP infeasible but brute succeeds" seed
             | _, None -> Alcotest.failf "seed %d: instance no longer exercises the bug" seed)
           [ 0; 1; 2; 3; 4 ]);
+    case "golden: PR-1 corpus solutions are pinned placement for placement" (fun () ->
+        (* End-to-end freeze of the five PR-1 regression instances: the
+           flat-candidate + trace-arena DP must keep reproducing exactly
+           the solutions the eager list-carrying engine committed — same
+           buffers at the same nodes in the same order, same slack to the
+           last bit of the printed precision. *)
+        let golden =
+          [
+            (0, "fastlow", [ (4, "fastlow"); (2, "fastlow"); (1, "fastlow") ],
+             7.6363756229833327e-10,
+             [ (4, "fastlow"); (2, "slowhigh"); (1, "fastlow") ],
+             7.6353756229833324e-10);
+            (1, "fastlow", [ (3, "fastlow"); (2, "fastlow"); (1, "fastlow") ],
+             6.6922693567923953e-10,
+             [ (3, "fastlow"); (2, "fastlow"); (1, "slowhigh") ],
+             6.4411867265228217e-10);
+            (2, "fastlow", [ (2, "fastlow"); (1, "fastlow") ],
+             9.9261861089149271e-10,
+             [ (2, "fastlow"); (1, "slowhigh") ],
+             9.6769576732923342e-10);
+            (3, "fastlow", [ (6, "fastlow"); (4, "fastlow"); (1, "fastlow") ],
+             2.552401195222317e-10,
+             [ (6, "slowhigh"); (4, "slowhigh"); (1, "slowhigh") ],
+             2.3046308611853491e-10);
+            (4, "fastlow", [ (3, "fastlow"); (2, "fastlow"); (1, "fastlow") ],
+             6.5035430075046443e-10,
+             [ (3, "fastlow"); (2, "fastlow"); (1, "slowhigh") ],
+             6.2619002288324987e-10);
+          ]
+        in
+        let sol (r : Bufins.Dp.result) =
+          List.map
+            (fun (p : Rctree.Surgery.placement) ->
+              Alcotest.(check (float 0.0))
+                "buffer sits at the node" 0.0 p.Rctree.Surgery.dist;
+              (p.Rctree.Surgery.node, p.Rctree.Surgery.buffer.Tech.Buffer.name))
+            r.Bufins.Dp.placements
+        in
+        List.iter
+          (fun (seed, _, dsol, dslack, nsol, nslack) ->
+            let rng = Util.Rng.create seed in
+            let seg = Rctree.Segment.refine (lowmargin_tree rng) ~max_len:1.5e-3 in
+            let d =
+              match (Bufins.Dp.run ~noise:false ~mode:Bufins.Dp.Single ~lib:mixed_lib seg).Bufins.Dp.best with
+              | Some r -> r
+              | None -> Alcotest.failf "seed %d: delay mode infeasible" seed
+            in
+            Alcotest.(check (list (pair int string)))
+              (Printf.sprintf "seed %d delay placements" seed) dsol (sol d);
+            feq_rel (Printf.sprintf "seed %d delay slack" seed) ~eps:1e-12 dslack
+              d.Bufins.Dp.slack;
+            match Bufins.Alg3.run ~lib:mixed_lib seg with
+            | None -> Alcotest.failf "seed %d: noise mode infeasible" seed
+            | Some r ->
+                Alcotest.(check (list (pair int string)))
+                  (Printf.sprintf "seed %d noise placements" seed) nsol (sol r);
+                feq_rel (Printf.sprintf "seed %d noise slack" seed) ~eps:1e-12 nslack
+                  r.Bufins.Dp.slack)
+          golden);
     case "finer segmenting can rescue infeasibility" (fun () ->
         let t = Fixtures.two_pin process ~len:12e-3 in
         let coarse = Rctree.Segment.refine t ~max_len:6e-3 in

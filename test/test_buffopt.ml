@@ -52,6 +52,34 @@ let tests =
                  | None -> true)
         | Some { timing_met = false; _ } -> true
         | None -> true);
+    case "regression: a zero-margin sink yields an infinite ratio, never nan" (fun () ->
+        (* worst_noise_ratio divides noise by the sink margin; a margin of
+           zero (or a denormal) used to produce nan/inf garbage that broke
+           every downstream max-fold comparison. Pinned behavior: any
+           noise into a zero margin is an infinite ratio (never clean),
+           zero noise into a zero margin is a ratio of zero (clean). *)
+        let noisy_zero_margin = Fixtures.two_pin ~nm:0.0 process ~len:2e-3 in
+        let r = Bufins.Eval.of_tree noisy_zero_margin in
+        Alcotest.(check bool)
+          "noisy ratio is +inf" true
+          (r.Bufins.Eval.worst_noise_ratio = Float.infinity);
+        Alcotest.(check bool) "not clean" false (Bufins.Eval.noise_clean r);
+        let b = Rctree.Builder.create () in
+        let so = Rctree.Builder.add_source b ~r_drv:100.0 ~d_drv:0.0 in
+        let quiet = T.make_wire ~length:1e-3 ~res:100.0 ~cap:1e-13 ~cur:0.0 in
+        ignore
+          (Rctree.Builder.add_sink b ~parent:so ~wire:quiet ~name:"s" ~c_sink:1e-14
+             ~rat:1e-9 ~nm:0.0);
+        let r = Bufins.Eval.of_tree (Rctree.Builder.finish b) in
+        Alcotest.(check (float 0.0))
+          "quiet ratio is 0" 0.0 r.Bufins.Eval.worst_noise_ratio;
+        Alcotest.(check bool) "clean" true (Bufins.Eval.noise_clean r);
+        (* denormal margins behave like zero, not like a 1e300-ish ratio *)
+        let denormal = Fixtures.two_pin ~nm:1e-320 process ~len:2e-3 in
+        let r = Bufins.Eval.of_tree denormal in
+        Alcotest.(check bool)
+          "denormal margin is +inf too" true
+          (r.Bufins.Eval.worst_noise_ratio = Float.infinity));
     case "relaxed timing needs fewer buffers than tight timing" (fun () ->
         let t = Fixtures.two_pin process ~len:10e-3 in
         let loose = relax_rats t 10e-9 in

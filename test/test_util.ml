@@ -157,19 +157,30 @@ let ftab_tests =
 
 
 (* appended: dominance-pruning properties for the shared candidate ops *)
+
+(* random trace-construction programs, mirroring every arena constructor *)
+type trace_op =
+  | OLeaf
+  | OBuf of int * trace_op
+  | OResize of int * trace_op
+  | OJoin of trace_op * trace_op
+
+let trace_op_gen =
+  QCheck2.Gen.(
+    sized
+    @@ fix (fun self n ->
+           if n <= 0 then return OLeaf
+           else
+             frequency
+               [
+                 (1, return OLeaf);
+                 (3, map2 (fun i t -> OBuf (i, t)) (int_range 0 20) (self (n - 1)));
+                 (2, map2 (fun i t -> OResize (i, t)) (int_range 0 20) (self (n - 1)));
+                 (2, map2 (fun l r -> OJoin (l, r)) (self (n / 2)) (self (n / 2)));
+               ]))
+
 let candidate_tests =
-  let mk c q =
-    {
-      Bufins.Candidate.c;
-      q;
-      i = 0.0;
-      ns = 1.0;
-      parity = 0;
-      count = 0;
-      sol = [];
-      sizes = [];
-    }
-  in
+  let mk c q = { Bufins.Candidate.c; q; i = 0.0; ns = 1.0; meta = 0.0; tr = 0.0 } in
   let gen =
     QCheck2.Gen.(
       list_size (int_range 1 30)
@@ -221,8 +232,11 @@ let candidate_tests =
     qcase ~count:80 "specialized merge matches the generic walk" gen (fun cands ->
         let l = List.sort Bufins.Candidate.cmp_frontier cands in
         let r = List.rev (List.rev_map (fun a -> { a with Bufins.Candidate.c = a.Bufins.Candidate.c *. 1.5 }) l) in
-        let generic = Bufins.Frontier.merge2 ~value ~join:Bufins.Candidate.merge l r in
-        let fast, n = Bufins.Candidate.merge_delay l r in
+        (* fresh arena each: identical pairing order means identical
+           handle sequences, so whole records must compare equal *)
+        let ga = Bufins.Trace.create () and fa = Bufins.Trace.create () in
+        let generic = Bufins.Frontier.merge2 ~value ~join:(Bufins.Candidate.merge ~arena:ga) l r in
+        let fast, n = Bufins.Candidate.merge_delay ~arena:fa l r in
         generic = fast && n = List.length fast);
     qcase ~count:80 "pareto_dom on full dominance keeps only the 4D front" gen4 (fun cands ->
         let dom = Bufins.Candidate.dominates_full in
@@ -238,7 +252,7 @@ let candidate_tests =
              cands);
     case "merge adds loads and takes worst slacks" (fun () ->
         let a = mk 1e-15 5e-10 and b = mk 2e-15 3e-10 in
-        let m = Bufins.Candidate.merge a b in
+        let m = Bufins.Candidate.merge ~arena:(Bufins.Trace.create ()) a b in
         feq_rel "c" ~eps:1e-12 3e-15 m.Bufins.Candidate.c;
         feq_rel "q" ~eps:1e-12 3e-10 m.Bufins.Candidate.q);
     case "wire step matches eq. 2 and eq. 8" (fun () ->
@@ -251,10 +265,54 @@ let candidate_tests =
         feq_rel "ns" ~eps:1e-9 (0.8 -. (80.0 *. (2e-3 +. 0.5e-3))) r.Bufins.Candidate.ns);
     case "inverting buffer flips parity" (fun () ->
         let inv = Tech.Lib.find Tech.Lib.default_library "invx4" |> Option.get in
-        let r = Bufins.Candidate.add_buffer ~at:3 inv (mk 1e-14 1e-9) in
-        Alcotest.(check int) "parity" 1 r.Bufins.Candidate.parity;
-        Alcotest.(check int) "count" 1 r.Bufins.Candidate.count;
+        let arena = Bufins.Trace.create () in
+        let r = Bufins.Candidate.add_buffer ~arena ~at:3 inv (mk 1e-14 1e-9) in
+        Alcotest.(check int) "parity" 1 (Bufins.Candidate.parity r);
+        Alcotest.(check int) "count" 1 (Bufins.Candidate.count r);
         feq_rel "load reset" ~eps:1e-12 inv.Tech.Buffer.c_in r.Bufins.Candidate.c);
+    case "meta packing survives merges of buffered branches" (fun () ->
+        let inv = Tech.Lib.find Tech.Lib.default_library "invx4" |> Option.get in
+        let buf = Tech.Lib.find Tech.Lib.default_library "bufx4" |> Option.get in
+        let arena = Bufins.Trace.create () in
+        let a =
+          Bufins.Candidate.add_buffer ~arena ~at:1 inv
+            (Bufins.Candidate.add_buffer ~arena ~at:0 inv (mk 1e-14 1e-9))
+        in
+        let b = Bufins.Candidate.add_buffer ~arena ~at:2 buf (mk 2e-14 2e-9) in
+        (* two inversions cancel: both sides sit at parity 0 *)
+        let m = Bufins.Candidate.merge ~arena a b in
+        Alcotest.(check int) "parity" 0 (Bufins.Candidate.parity m);
+        Alcotest.(check int) "count" 3 (Bufins.Candidate.count m));
+    qcase ~count:200 "trace reconstruction matches the eager list semantics" trace_op_gen
+      (fun prog ->
+        (* the arena walk must reproduce, list for list, what the old
+           eager representation built: cons per buffer/sizing, rev_append
+           per join, a final reverse for placements only *)
+        let lib = Array.of_list Tech.Lib.default_library in
+        let buf_of i = lib.(i mod Array.length lib) in
+        let arena = Bufins.Trace.create () in
+        let rec build = function
+          | OLeaf -> (Bufins.Trace.leaf, [], [])
+          | OBuf (i, sub) ->
+              let h, sol, sizes = build sub in
+              let b = buf_of i in
+              let dist = float_of_int i *. 1e-6 in
+              let p = { Rctree.Surgery.node = i; dist; buffer = b } in
+              (Bufins.Trace.buf arena ~node:i ~dist ~buffer:b ~pred:h, p :: sol, sizes)
+          | OResize (i, sub) ->
+              let h, sol, sizes = build sub in
+              let w = 1.0 +. float_of_int (i mod 3) in
+              (Bufins.Trace.resize arena ~node:i ~width:w ~pred:h, sol, (i, w) :: sizes)
+          | OJoin (l, r) ->
+              let hl, soll, sizesl = build l in
+              let hr, solr, sizesr = build r in
+              ( Bufins.Trace.join arena ~left:hl ~right:hr,
+                List.rev_append soll solr,
+                List.rev_append sizesl sizesr )
+        in
+        let h, sol, sizes = build prog in
+        Bufins.Trace.placements arena h = List.rev sol
+        && Bufins.Trace.sizes arena h = sizes);
   ]
 
 let suites =
