@@ -5,9 +5,11 @@
      dune exec bench/dp_scaling.exe -- --smoke  # CI smoke mode (1 iteration)
 
    The headline run is the 800-sink [Per_count kmax=16] delay-mode DP — the
-   BuffOpt / DelayOpt(k) hot path. Times are Util.Clock wall-clock seconds
-   (Sys.time CPU seconds would double-count under parallelism), the minimum
-   over iterations. *)
+   BuffOpt / DelayOpt(k) hot path. A library-size sweep (b = 1 / 4 / 8
+   buffer types) tracks how the per-type frontier populations and the
+   predictive-pruning rate (DESIGN.md §12) scale with the library. Times
+   are Util.Clock wall-clock seconds (Sys.time CPU seconds would
+   double-count under parallelism), the minimum over iterations. *)
 
 let process = Tech.Process.default
 
@@ -40,11 +42,14 @@ type run = {
   sinks : int;
   noise : bool;
   kmax : int option;
+  lib_size : int;
   seconds : float;
   slack : float;
   generated : int;
   pruned : int;
+  pred_pruned : int;
   peak_width : int;
+  type_widths : int array;
   arena : int;
   minor_words : float;
   major_words : float;
@@ -60,7 +65,7 @@ let time_run ~iters f =
   done;
   (!best, Option.get !out)
 
-let scenario ~iters ~sinks ~noise ~kmax =
+let scenario ?(lib = lib) ?suffix ~iters ~sinks ~noise ~kmax () =
   let seg = Rctree.Segment.refine (big_tree sinks) ~max_len:500e-6 in
   let mode = match kmax with None -> Bufins.Dp.Single | Some k -> Bufins.Dp.Per_count k in
   let seconds, (outcome : Bufins.Dp.outcome) =
@@ -69,18 +74,22 @@ let scenario ~iters ~sinks ~noise ~kmax =
   let slack = match outcome.Bufins.Dp.best with Some r -> r.Bufins.Dp.slack | None -> nan in
   {
     name =
-      Printf.sprintf "%s_%s_%d"
+      Printf.sprintf "%s_%s_%d%s"
         (match kmax with None -> "single" | Some k -> Printf.sprintf "per_count_k%d" k)
         (if noise then "noise" else "delay")
-        sinks;
+        sinks
+        (match suffix with None -> "" | Some s -> "_" ^ s);
     sinks;
     noise;
     kmax;
+    lib_size = List.length lib;
     seconds;
     slack;
     generated = outcome.Bufins.Dp.stats.Bufins.Dp.generated;
     pruned = outcome.Bufins.Dp.stats.Bufins.Dp.pruned;
+    pred_pruned = outcome.Bufins.Dp.stats.Bufins.Dp.pred_pruned;
     peak_width = outcome.Bufins.Dp.stats.Bufins.Dp.peak_width;
+    type_widths = outcome.Bufins.Dp.stats.Bufins.Dp.type_widths;
     arena = outcome.Bufins.Dp.stats.Bufins.Dp.arena;
     (* per-run Gc deltas measured by the DP itself; minor words are the
        allocation-pressure headline the trace-arena refactor targets *)
@@ -90,13 +99,15 @@ let scenario ~iters ~sinks ~noise ~kmax =
 
 let json_of_run r =
   Printf.sprintf
-    "    {\"name\": \"%s\", \"sinks\": %d, \"noise\": %b, \"kmax\": %s, \"wall_seconds\": %.6f, \
-     \"slack\": %.6e, \"generated\": %d, \"pruned\": %d, \"peak_width\": %d, \
-     \"arena_nodes\": %d, \"minor_words\": %.0f, \"major_words\": %.0f}"
+    "    {\"name\": \"%s\", \"sinks\": %d, \"noise\": %b, \"kmax\": %s, \"lib_size\": %d, \
+     \"wall_seconds\": %.6f, \"slack\": %.6e, \"generated\": %d, \"pruned\": %d, \
+     \"pred_pruned\": %d, \"peak_width\": %d, \"type_widths\": [%s], \"arena_nodes\": %d, \
+     \"minor_words\": %.0f, \"major_words\": %.0f}"
     r.name r.sinks r.noise
     (match r.kmax with None -> "null" | Some k -> string_of_int k)
-    r.seconds r.slack r.generated r.pruned r.peak_width r.arena r.minor_words
-    r.major_words
+    r.lib_size r.seconds r.slack r.generated r.pruned r.pred_pruned r.peak_width
+    (String.concat ", " (Array.to_list (Array.map string_of_int r.type_widths)))
+    r.arena r.minor_words r.major_words
 
 let () =
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
@@ -107,25 +118,40 @@ let () =
     find 1
   in
   let iters = if smoke then 1 else 3 in
+  let sub_lib b = List.filteri (fun i _ -> i < b) lib in
   let runs =
     List.concat
       [
         (* the headline scaling series: count-indexed delay DP, kmax = 16 *)
-        List.map (fun sinks -> scenario ~iters ~sinks ~noise:false ~kmax:(Some 16)) [ 50; 200; 800 ];
+        List.map
+          (fun sinks -> scenario ~iters ~sinks ~noise:false ~kmax:(Some 16) ())
+          [ 50; 200; 800 ];
         (* the noise-constrained engine (Algorithm 3), unbucketed *)
-        List.map (fun sinks -> scenario ~iters ~sinks ~noise:true ~kmax:None) [ 50; 200; 800 ];
+        List.map (fun sinks -> scenario ~iters ~sinks ~noise:true ~kmax:None ()) [ 50; 200; 800 ];
+        (* library-size sweep: per-type frontier widths and predictive
+           pruning rates for b = 1 / 4 / 8 buffer types *)
+        List.concat_map
+          (fun sinks ->
+            List.map
+              (fun b ->
+                scenario ~lib:(sub_lib b)
+                  ~suffix:(Printf.sprintf "b%d" b)
+                  ~iters ~sinks ~noise:false ~kmax:(Some 16) ())
+              [ 1; 4; 8 ])
+          [ 200; 800 ];
       ]
   in
   List.iter
     (fun r ->
       Printf.printf
-        "%-24s %10.3f s wall  slack %+.1f ps  generated %d  pruned %d  peak width %d  \
-         arena %d  alloc %.1f/%.1f Mwords minor/major\n%!"
-        r.name r.seconds (r.slack *. 1e12) r.generated r.pruned r.peak_width r.arena
+        "%-28s %10.3f s wall  slack %+.1f ps  generated %d  pruned %d  pred-pruned %d  \
+         peak width %d  arena %d  alloc %.1f/%.1f Mwords minor/major\n%!"
+        r.name r.seconds (r.slack *. 1e12) r.generated r.pruned r.pred_pruned r.peak_width
+        r.arena
         (r.minor_words /. 1e6) (r.major_words /. 1e6))
     runs;
   let oc = open_out out_path in
-  Printf.fprintf oc "{\n  \"engine\": \"frontier\",\n  \"smoke\": %b,\n  \"runs\": [\n%s\n  ]\n}\n"
+  Printf.fprintf oc "{\n  \"engine\": \"predictive\",\n  \"smoke\": %b,\n  \"runs\": [\n%s\n  ]\n}\n"
     smoke
     (String.concat ",\n" (List.map json_of_run runs));
   close_out oc;

@@ -43,10 +43,10 @@ let run_cmd file algo seg_um kmax simulate =
           describe_report "optimized" r.Bufins.Buffopt.report;
           let s = r.Bufins.Buffopt.stats in
           Printf.printf
-            "engine: candidates generated=%d pruned=%d peak-frontier=%d trace-arena=%d \
-             alloc=%.1f/%.1f Mwords minor/major\n"
-            s.Bufins.Dp.generated s.Bufins.Dp.pruned s.Bufins.Dp.peak_width
-            s.Bufins.Dp.arena
+            "engine: candidates generated=%d pruned=%d pred-pruned=%d peak-frontier=%d \
+             trace-arena=%d alloc=%.1f/%.1f Mwords minor/major\n"
+            s.Bufins.Dp.generated s.Bufins.Dp.pruned s.Bufins.Dp.pred_pruned
+            s.Bufins.Dp.peak_width s.Bufins.Dp.arena
             (s.Bufins.Dp.minor_words /. 1e6)
             (s.Bufins.Dp.major_words /. 1e6);
           List.iter
@@ -166,7 +166,10 @@ let mutation_of_string = function
   | "" -> Ok None
   | "cq-noise-prune" -> Ok (Some Bufins.Dp.Cq_noise_prune)
   | "no-attach-guard" -> Ok (Some Bufins.Dp.No_attach_guard)
-  | s -> Error ("bad mutation (want cq-noise-prune or no-attach-guard): " ^ s)
+  | "loose-pred-bound" -> Ok (Some Bufins.Dp.Loose_pred_bound)
+  | s ->
+      Error
+        ("bad mutation (want cq-noise-prune, no-attach-guard or loose-pred-bound): " ^ s)
 
 let fuzz_cmd seed count jobs minutes corpus mutate replay_path =
   match mutation_of_string mutate with
@@ -309,8 +312,8 @@ let () =
         & opt string ""
         & info [ "mutate" ] ~docv:"NAME"
             ~doc:
-              "Run against a deliberately broken DP engine (cq-noise-prune or \
-               no-attach-guard); the campaign is expected to fail.")
+              "Run against a deliberately broken DP engine (cq-noise-prune, \
+               no-attach-guard or loose-pred-bound); the campaign is expected to fail.")
     in
     let replay =
       Arg.(

@@ -1,3 +1,4 @@
-let run ~lib tree = (Dp.run ~noise:true ~mode:Dp.Single ~lib tree).Dp.best
+let run ?pruning ~lib tree = (Dp.run ?pruning ~noise:true ~mode:Dp.Single ~lib tree).Dp.best
 
-let by_count ~kmax ~lib tree = Dp.run ~noise:true ~mode:(Dp.Per_count kmax) ~lib tree
+let by_count ?pruning ~kmax ~lib tree =
+  Dp.run ?pruning ~noise:true ~mode:(Dp.Per_count kmax) ~lib tree

@@ -9,15 +9,28 @@
     Optimal for a single-buffer library when the buffer's input
     capacitance is at most every sink's and its margin at most every
     sink's (Theorem 5); near-optimal for realistic libraries
-    (Section IV-C, verified within 2% in Table IV). *)
+    (Section IV-C, verified within 2% in Table IV).
 
-val run : lib:Tech.Buffer.t list -> Rctree.Tree.t -> Dp.result option
+    [?pruning] is accepted for interface uniformity with {!Vangin}, but
+    noise mode never applies the predictive slope rule ({!Dp.run}); both
+    values run the same engine here. *)
+
+val run :
+  ?pruning:[ `Predictive | `Sweep_only ] ->
+  lib:Tech.Buffer.t list ->
+  Rctree.Tree.t ->
+  Dp.result option
 (** Maximize source slack subject to every noise margin; [None] when no
     buffering at this segmenting satisfies noise (Section IV-C's remedy:
     finer segmenting / richer library — see [Buffopt.optimize]). The
     returned result carries the engine's {!Dp.stats} (candidates
     generated / pruned, peak frontier width). *)
 
-val by_count : kmax:int -> lib:Tech.Buffer.t list -> Rctree.Tree.t -> Dp.outcome
+val by_count :
+  ?pruning:[ `Predictive | `Sweep_only ] ->
+  kmax:int ->
+  lib:Tech.Buffer.t list ->
+  Rctree.Tree.t ->
+  Dp.outcome
 (** Noise-constrained best slack per exact buffer count; the substrate
     for Problem 3 (see {!Buffopt}). *)

@@ -1,7 +1,7 @@
 type t = { result : Dp.result; timing_met : bool }
 
-let problem3 ~kmax ~lib tree =
-  let outcome = Alg3.by_count ~kmax ~lib tree in
+let problem3 ?pruning ~kmax ~lib tree =
+  let outcome = Alg3.by_count ?pruning ~kmax ~lib tree in
   let candidates =
     Array.to_list outcome.Dp.by_count |> List.filter_map (fun r -> r)
   in
@@ -48,21 +48,21 @@ type run = {
   stats : Dp.stats;
 }
 
-let optimize ?(seg_len = 500e-6) ?(kmax = 16) ?(retries = 2) algorithm ~lib tree =
+let optimize ?(seg_len = 500e-6) ?(kmax = 16) ?(retries = 2) ?pruning algorithm ~lib tree =
   let rec attempt seg_len retries =
     let seg = Rctree.Segment.refine tree ~max_len:seg_len in
     let solve () =
       match algorithm with
       | Buffopt -> (
-          match problem3 ~kmax ~lib seg with
+          match problem3 ?pruning ~kmax ~lib seg with
           | Some p -> Some p.result
           | None ->
               (* the net may simply need more than kmax buffers: fall back
                  to the unbounded Problem 2 search before giving up *)
-              Alg3.run ~lib seg)
-      | Delayopt k -> Some (Vangin.run_max ~max_buffers:k ~lib seg)
-      | Alg3_max_slack -> Alg3.run ~lib seg
-      | Vangin_max_slack -> Some (Vangin.run ~lib seg)
+              Alg3.run ?pruning ~lib seg)
+      | Delayopt k -> Some (Vangin.run_max ?pruning ~max_buffers:k ~lib seg)
+      | Alg3_max_slack -> Alg3.run ?pruning ~lib seg
+      | Vangin_max_slack -> Some (Vangin.run ?pruning ~lib seg)
     in
     match solve () with
     | Some (r : Dp.result) ->
@@ -79,19 +79,20 @@ let optimize ?(seg_len = 500e-6) ?(kmax = 16) ?(retries = 2) algorithm ~lib tree
   in
   attempt seg_len retries
 
-let optimize_coupled ?(seg_len = 500e-6) ?(kmax = 16) ?(retries = 2) algorithm ~lib ann =
+let optimize_coupled ?(seg_len = 500e-6) ?(kmax = 16) ?(retries = 2) ?pruning algorithm ~lib ann
+    =
   let rec attempt seg_len retries =
     let seg_ann = Coupling.refine ann ~max_len:seg_len in
     let seg = Coupling.tree seg_ann in
     let solve () =
       match algorithm with
       | Buffopt -> (
-          match problem3 ~kmax ~lib seg with
+          match problem3 ?pruning ~kmax ~lib seg with
           | Some p -> Some p.result
-          | None -> Alg3.run ~lib seg)
-      | Delayopt k -> Some (Vangin.run_max ~max_buffers:k ~lib seg)
-      | Alg3_max_slack -> Alg3.run ~lib seg
-      | Vangin_max_slack -> Some (Vangin.run ~lib seg)
+          | None -> Alg3.run ?pruning ~lib seg)
+      | Delayopt k -> Some (Vangin.run_max ?pruning ~max_buffers:k ~lib seg)
+      | Alg3_max_slack -> Alg3.run ?pruning ~lib seg
+      | Vangin_max_slack -> Some (Vangin.run ?pruning ~lib seg)
     in
     match solve () with
     | Some (r : Dp.result) ->

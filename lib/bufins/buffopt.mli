@@ -18,7 +18,12 @@ type t = {
   timing_met : bool;  (** slack >= 0 at the chosen count *)
 }
 
-val problem3 : kmax:int -> lib:Tech.Buffer.t list -> Rctree.Tree.t -> t option
+val problem3 :
+  ?pruning:[ `Predictive | `Sweep_only ] ->
+  kmax:int ->
+  lib:Tech.Buffer.t list ->
+  Rctree.Tree.t ->
+  t option
 (** The Problem 3 selection rule over {!Alg3.by_count}; [None] when no
     noise-feasible solution exists at this segmenting. *)
 
@@ -41,6 +46,7 @@ val optimize :
   ?seg_len:float ->
   ?kmax:int ->
   ?retries:int ->
+  ?pruning:[ `Predictive | `Sweep_only ] ->
   algorithm ->
   lib:Tech.Buffer.t list ->
   Rctree.Tree.t ->
@@ -49,14 +55,16 @@ val optimize :
     algorithms retry up to [retries] (default 2) times with halved
     [seg_len] when infeasible. [kmax] (default 16) bounds the Problem 3
     search; a net that needs more buffers than [kmax] falls back to the
-    unbounded Problem 2 search (Algorithm 3) rather than failing. [None]
-    only for noise-aware algorithms that stay infeasible after all
-    retries. *)
+    unbounded Problem 2 search (Algorithm 3) rather than failing.
+    [pruning] selects the candidate engine (see {!Dp.run}; outcomes are
+    byte-identical either way). [None] only for noise-aware algorithms
+    that stay infeasible after all retries. *)
 
 val optimize_coupled :
   ?seg_len:float ->
   ?kmax:int ->
   ?retries:int ->
+  ?pruning:[ `Predictive | `Sweep_only ] ->
   algorithm ->
   lib:Tech.Buffer.t list ->
   Coupling.t ->

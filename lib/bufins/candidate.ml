@@ -225,6 +225,220 @@ let splice_delay group cands =
   in
   go [] group cands
 
+(* Predictive pruning (Li & Shi; DESIGN.md §12). [bound] is the node's
+   {!Rctree.Upbound} value: every upstream operation costs a candidate at
+   least [bound] seconds of slack per farad of extra load, so a candidate
+   whose slack lead over a lighter same-group candidate is below
+   [bound *. dc] can never strictly win at the source and is discarded
+   before it is materialized. All three kill sites compare against
+   already-emitted candidates of the same (parity, bucket) group, which
+   keeps the discard sound and every optimizer outcome byte-identical to
+   the sweep-only engine's (the witness either still dominates at the
+   source or plainly kills the victim at the next sweep). *)
+
+let pred_kills ~bound (k : t) (x : t) =
+  k.q >= x.q || (x.c > k.c && x.q -. k.q < bound *. (x.c -. k.c))
+
+(* Virtual witnesses: the coordinates of the buffer insertions a feasible
+   node will splice into this group, computed from the already-built
+   source group one bucket down (wc.(i), wq.(i), i < nw). The kill is
+   sound even when the insertion itself ends up covered — its killer
+   dominates or slope-kills it, and both relations compose — and it is
+   deliberately strict on exact (c, q) ties so the trace that survives a
+   tie is still decided by the ordinary splice, exactly as in the
+   sweep-only engine. *)
+let witness_kills ~bound ~wc ~wq ~nw ~c ~q =
+  let rec go i =
+    i < nw
+    && ((wc.(i) < c && q -. wq.(i) < bound *. (c -. wc.(i)))
+       || (wc.(i) = c && wq.(i) > q)
+       || go (i + 1))
+  in
+  go 0
+
+let covered ~bound ~c ~q group =
+  let rec go = function
+    | (k : t) :: tl when k.c <= c ->
+        k.q >= q || (c > k.c && q -. k.q < bound *. (c -. k.c)) || go tl
+    | _ -> false
+  in
+  go group
+
+let climb_pred ~bound w group =
+  let emitted = ref 0 and prekilled = ref 0 in
+  let rec go acc = function
+    | [] -> (List.rev acc, !emitted, !prekilled)
+    | a :: tl -> (
+        let x = add_wire w a in
+        match acc with
+        | k :: _ when pred_kills ~bound k x ->
+            incr prekilled;
+            go acc tl
+        | _ ->
+            incr emitted;
+            go (x :: acc) tl)
+  in
+  go [] group
+
+let climb_pred_scan ~bound ~wc ~wq ~nw w group =
+  (* [climb_pred] when the climb lands on a feasible single-child node:
+     the upcoming buffer insertions act as virtual witnesses (wc, wq),
+     and the full climbed list — every [add_wire] result, frontier
+     survivor or not — is returned alongside the survivors so the
+     insertion scan at the destination sees exactly the population the
+     sweep-only engine would scan. A victim never enters the frontier,
+     but it can still be the best insertion source; its record and trace
+     stay valid because a plain climb records no arena node. *)
+  let emitted = ref 0 and prekilled = ref 0 in
+  let rec go acc full = function
+    | [] -> (List.rev acc, List.rev full, !emitted, !prekilled)
+    | a :: tl ->
+        let x = add_wire w a in
+        let killed =
+          (match acc with k :: _ -> pred_kills ~bound k x | [] -> false)
+          || witness_kills ~bound ~wc ~wq ~nw ~c:x.c ~q:x.q
+        in
+        if killed then begin
+          incr prekilled;
+          go acc (x :: full) tl
+        end
+        else begin
+          incr emitted;
+          go (x :: acc) (x :: full) tl
+        end
+  in
+  go [] [] group
+
+let climb_resize_pred ~arena ~bound ~node ~width w group =
+  let emitted = ref 0 and prekilled = ref 0 in
+  let rec go acc = function
+    | [] -> (List.rev acc, !emitted, !prekilled)
+    | a :: tl -> (
+        let x = add_wire w a in
+        match acc with
+        | k :: _ when pred_kills ~bound k x ->
+            incr prekilled;
+            go acc tl
+        | _ ->
+            incr emitted;
+            (* the kill test reads only the coordinates, so the Resize
+               arena node is recorded for survivors alone *)
+            go (resize ~arena ~node ~width x :: acc) tl)
+  in
+  go [] group
+
+let merge_sweep_delay_pred ~arena ~bound walks =
+  (* The cross-run form of the merge kill: every Van Ginneken pairing
+     walk feeding one (parity, bucket) group advances through a single
+     k-way selection, and the staircase push — with the slope rule — is
+     applied to each pairing's coordinates before [merge] records a Join
+     arena node. The kept staircase doubles as the witness index: a
+     pairing from one (kl, kr) walk is killed by a lighter pairing from
+     any other walk of the same group, which is exactly the population
+     the plain [merge_sweep_delay] would have swept after materializing
+     everything. Selection order (pairing [cmp_frontier], ties to the
+     earliest walk) and the equal-load retro-kill mirror
+     [merge_sweep_delay]'s push, so ties between equal-coordinate
+     pairings resolve to the same trace as the sweep-only engine; the
+     slope rule only fires on strictly heavier pairings, never on ties. *)
+  let walks = Array.of_list walks in
+  let n = Array.length walks in
+  let ls = Array.make n [] and rs = Array.make n [] in
+  (* each walk's current head-pairing coordinates, cached flat and
+     refreshed only when that walk advances — [pop] runs once per
+     pairing over every walk, so recomputing four coordinates per walk
+     per call dominated the merge otherwise. [hc = infinity] marks an
+     exhausted walk (loads are finite). *)
+  let hc = Array.make n infinity
+  and hq = Array.make n 0.0
+  and hi = Array.make n 0.0
+  and hns = Array.make n 0.0 in
+  let refill j =
+    match (ls.(j), rs.(j)) with
+    | (a : t) :: _, (b : t) :: _ ->
+        hc.(j) <- a.c +. b.c;
+        hq.(j) <- Float.min a.q b.q;
+        hi.(j) <- a.i +. b.i;
+        hns.(j) <- Float.min a.ns b.ns
+    | _ -> hc.(j) <- infinity
+  in
+  Array.iteri
+    (fun j (l, r) ->
+      ls.(j) <- l;
+      rs.(j) <- r;
+      refill j)
+    walks;
+  let emitted = ref 0 and dropped = ref 0 and prekilled = ref 0 in
+  let bq = ref 0.0 and bi = ref 0.0 and bns = ref 0.0 in
+  let bc = ref infinity in
+  let pop () =
+    (* smallest head pairing under cmp_frontier on (c, q, i, ns);
+       scanning ascending and replacing only on strictly-better keeps
+       ties with the earliest walk *)
+    let best = ref (-1) in
+    bc := infinity;
+    for j = 0 to n - 1 do
+      let cf = hc.(j) in
+      if cf < !bc then begin
+        best := j;
+        bc := cf;
+        bq := hq.(j);
+        bi := hi.(j);
+        bns := hns.(j)
+      end
+      else if cf = !bc && cf < infinity then begin
+        let qf = hq.(j) in
+        if
+          qf > !bq
+          || (qf = !bq && (hi.(j) < !bi || (hi.(j) = !bi && hns.(j) > !bns)))
+        then begin
+          best := j;
+          bq := qf;
+          bi := hi.(j);
+          bns := hns.(j)
+        end
+      end
+    done;
+    !best
+  in
+  let rec go kept =
+    let j = pop () in
+    if j < 0 then (List.rev kept, !emitted, !dropped, !prekilled)
+    else begin
+      match (ls.(j), rs.(j)) with
+      | (a : t) :: ltl, (b : t) :: rtl -> (
+          if a.q < b.q then ls.(j) <- ltl
+          else if b.q < a.q then rs.(j) <- rtl
+          else begin
+            ls.(j) <- ltl;
+            rs.(j) <- rtl
+          end;
+          refill j;
+          let cf = !bc and qf = !bq in
+          match kept with
+          | (k : t) :: tl when k.c = cf && k.q <= qf -> (
+              (* the new pairing retro-dominates the newest survivor *)
+              incr dropped;
+              match tl with
+              | (k2 : t) :: _
+                when k2.q >= qf || (cf > k2.c && qf -. k2.q < bound *. (cf -. k2.c)) ->
+                  incr prekilled;
+                  go tl
+              | _ ->
+                  incr emitted;
+                  go (merge ~arena a b :: tl))
+          | (k : t) :: _ when k.q >= qf || (cf > k.c && qf -. k.q < bound *. (cf -. k.c))
+            ->
+              incr prekilled;
+              go kept
+          | _ ->
+              incr emitted;
+              go (merge ~arena a b :: kept))
+      | _ -> assert false
+    end
+  in
+  go []
+
 let merge_delay ~arena l r =
   (* both inputs sorted by cmp_frontier (load ascending, so slack
      ascending along a pruned frontier); advance the lower-slack side —

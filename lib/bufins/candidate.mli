@@ -127,3 +127,85 @@ val merge_delay : arena:Trace.arena -> t list -> t list -> t list * int
 (** [Frontier.merge2 ~value:q ~join:(merge ~arena)] on two sorted
     frontiers: the Van Ginneken linear branch-merge walk. Returns the
     pairings and their count (for the generated-candidates statistic). *)
+
+(** {2 Predictive pruning (Li & Shi)}
+
+    [bound] is the {!Rctree.Upbound} value of the node the candidates
+    sit at: a lower bound, in ohm, on the resistance any extra load must
+    still be charged through before something decouples it. A candidate
+    [x] whose slack lead over an already-emitted lighter candidate [k]
+    of the same group satisfies [x.q -. k.q < bound *. (x.c -. k.c)]
+    can never strictly beat [k] at the source, so it is discarded
+    {e before} being materialized (no allocation, no arena node) and is
+    counted as [pred_pruned] instead of [generated]. The frontiers get
+    narrower, but every optimizer outcome — winning slack, placements,
+    sizes, by_count buckets — is byte-identical to the sweep-only
+    engine's (DESIGN.md §12 has the proof). All functions below return
+    [(result, emitted, prekilled)]. *)
+
+val pred_kills : bound:float -> t -> t -> bool
+(** [pred_kills ~bound k x]: emitted candidate [k] kills the would-be
+    candidate [x] — by plain dominance ([k.q >= x.q]; [k.c <= x.c] is
+    the caller's sort order) or by the predictive slope rule. *)
+
+val covered : bound:float -> c:float -> q:float -> t list -> bool
+(** Does any member of the sorted staircase with load [<= c] kill a
+    would-be candidate at coordinates [(c, q)]? The buffer-insertion
+    pre-check, run against the target group before [add_buffer]
+    allocates anything. *)
+
+val climb_pred : bound:float -> Rctree.Tree.wire -> t list -> t list * int * int
+(** [add_wire] over a sorted group with the kill test fused in: a
+    climbed candidate killed by the previously emitted one is never
+    materialized. *)
+
+val climb_pred_scan :
+  bound:float ->
+  wc:float array ->
+  wq:float array ->
+  nw:int ->
+  Rctree.Tree.wire ->
+  t list ->
+  t list * t list * int * int
+(** [climb_pred] for a climb that lands on a feasible single-child node:
+    the buffer insertions the destination is about to splice into this
+    group act as [nw] extra virtual witnesses at coordinates
+    [(wc.(i), wq.(i))]. Returns
+    [(survivors, full, emitted, prekilled)] where [full] is {e every}
+    climbed candidate in frontier order — the insertion scan at the
+    destination must read [full], not [survivors], because a victim can
+    still be the best insertion source even though it can never win on
+    the frontier (its trace stays valid: a plain climb records no arena
+    node). Witness kills are strict on exact [(c, q)] ties, so a tie's
+    surviving trace is still decided by the ordinary splice. *)
+
+val climb_resize_pred :
+  arena:Trace.arena ->
+  bound:float ->
+  node:int ->
+  width:float ->
+  Rctree.Tree.wire ->
+  t list ->
+  t list * int * int
+(** [climb_pred] for a sized wire family: survivors additionally record
+    their [Resize] arena node (the wire must already be resized by the
+    caller). *)
+
+val merge_sweep_delay_pred :
+  arena:Trace.arena ->
+  bound:float ->
+  (t list * t list) list ->
+  t list * int * int * int
+(** The cross-run form of the merge kill. Each element of the input is
+    one Van Ginneken pairing walk (a left and a right child group)
+    feeding the same (parity, bucket) target group; the walks advance
+    through a single fused k-way selection and the staircase push — with
+    the slope rule — is applied to each pairing's coordinates {e before}
+    a [Join] arena node is recorded. Returns
+    [(kept, emitted, dropped, prekilled)]: [emitted] pairings were
+    materialized (count them as [generated]), [dropped] of those were
+    then retro-killed by an equal-load pairing ([pruned]), and
+    [prekilled] pairings were discarded pre-materialization
+    ([pred_pruned]). Selection and tie handling mirror
+    {!merge_sweep_delay}, so equal-coordinate ties resolve to the same
+    trace as the sweep-only engine. *)

@@ -4,16 +4,22 @@ module F = Frontier
 
 type mode = Single | Per_count of int
 
-type mutation = Cq_noise_prune | No_attach_guard
+type mutation = Cq_noise_prune | No_attach_guard | Loose_pred_bound
 
 type stats = {
   generated : int;
   pruned : int;
+  pred_pruned : int;
   peak_width : int;
+  type_widths : int array;
   arena : int;
   minor_words : float;
   major_words : float;
 }
+
+let considered s = s.generated + s.pred_pruned
+
+let survivors s = s.generated - s.pruned
 
 type result = {
   slack : float;
@@ -42,7 +48,13 @@ type outcome = { best : result option; by_count : result option array; stats : s
 
 let ns_eps = 1e-12
 
-let run ?(prune = true) ?(widths = [ 1.0 ]) ?(area_frac = 0.4) ?mutation ~noise ~mode ~lib tree =
+(* the Loose_pred_bound mutation inflates the upstream-resistance bound
+   by this factor: the slope rule then over-prunes and the predictive
+   engine's outcomes drift from the sweep-only reference *)
+let loose_bound_factor = 1.25
+
+let run ?(prune = true) ?(pruning = `Predictive) ?(widths = [ 1.0 ]) ?(area_frac = 0.4)
+    ?mutation ~noise ~mode ~lib tree =
   if widths = [] || List.exists (fun w -> w < 1.0) widths then
     invalid_arg "Dp.run: widths must be >= 1";
   if lib = [] then invalid_arg "Dp.run: empty buffer library";
@@ -59,8 +71,29 @@ let run ?(prune = true) ?(widths = [ 1.0 ]) ?(area_frac = 0.4) ?mutation ~noise 
     | Per_count k -> (true, k, k + 1)
   in
   let nslots = 2 * nbuckets in
-  let slot (a : C.t) = (if counted then 2 * C.count a else 0) + C.parity a in
-  let generated = ref 0 and pruned = ref 0 and peak_width = ref 0 in
+  let plib = Tech.Lib.prepare lib in
+  let ntypes = Tech.Lib.size plib in
+  (* Predictive pruning (Li & Shi; DESIGN.md §12) is delay-mode only:
+     the slope argument bounds how a load difference erodes a slack
+     difference, which says nothing about the (i, ns) coordinates the
+     noise-mode 4D dominance must preserve. It also stays off under
+     [prune = false] (Ablation B wants the full population). *)
+  let pred = pruning = `Predictive && (not noise) && prune in
+  let single_width = widths = [ 1.0 ] in
+  let bounds =
+    if not pred then [||]
+    else begin
+      let max_width = List.fold_left Float.max 1.0 widths in
+      let b = Rctree.Upbound.compute tree ~r_gate_min:plib.Tech.Lib.r_min ~max_width in
+      if mutation = Some Loose_pred_bound then
+        Array.iteri (fun i x -> b.(i) <- x *. loose_bound_factor) b;
+      b
+    end
+  in
+  let generated = ref 0 and pruned = ref 0 and pred_pruned = ref 0 in
+  let peak_width = ref 0 in
+  let type_widths = Array.make ntypes 0 in
+  let type_scratch = Array.make ntypes 0 in
   let sweep cands =
     if not prune then cands
     else begin
@@ -89,7 +122,8 @@ let run ?(prune = true) ?(widths = [ 1.0 ]) ?(area_frac = 0.4) ?mutation ~noise 
      candidate in a ref (pointer store); [scan_s.(0) > neg_infinity]
      doubles as the found flag. *)
   let scan_s = Array.make 1 neg_infinity in
-  let scan_best = ref { C.c = 0.0; q = 0.0; i = 0.0; ns = 0.0; meta = 0.0; tr = 0.0 } in
+  let dummy_cand = { C.c = 0.0; q = 0.0; i = 0.0; ns = 0.0; meta = 0.0; tr = 0.0 } in
+  let scan_best = ref dummy_cand in
   let rec scan (b : Tech.Buffer.t) = function
     | [] -> ()
     | (a : C.t) :: tl ->
@@ -109,84 +143,216 @@ let run ?(prune = true) ?(widths = [ 1.0 ]) ?(area_frac = 0.4) ?mutation ~noise 
         if w > !peak_width then peak_width := w)
       tbl
   in
+  (* Virtual insertion witnesses (DESIGN.md §12): when a single-width
+     climb lands on a feasible single-child node, the insertions that
+     node is about to splice into target slot [t] are computable from
+     the already-climbed source groups one bucket down — and kill
+     target-slot candidates before they enter the frontier. Soundness
+     needs the insertion scan at the destination to see the population
+     the sweep-only engine would scan (a victim can still be the best
+     insertion source), so [scan_src] keeps each slot's full climbed
+     list and [ins_s]/[ins_best] cache the per-(source slot, type) scan
+     for insert_buffers to reuse; [scan_valid] marks the caches as
+     describing the table insert_buffers is about to consume. *)
+  let wit_c = Array.make ntypes 0.0 and wit_q = Array.make ntypes 0.0 in
+  let scan_src = Array.make nslots [] in
+  let scan_valid = ref false in
+  let ins_s = Array.make (nslots * ntypes) Float.nan in
+  let ins_best = Array.make (nslots * ntypes) dummy_cand in
+  let fill_witnesses t =
+    let nw = ref 0 in
+    let kt = t asr 1 and pt = t land 1 in
+    if (not counted) || kt >= 1 then
+      for ti = 0 to ntypes - 1 do
+        let p_src = if plib.Tech.Lib.inverting.(ti) then 1 - pt else pt in
+        let src = (if counted then 2 * (kt - 1) else 0) + p_src in
+        if src < t then begin
+          match scan_src.(src) with
+          | [] -> ()
+          | sgroup ->
+              scan_s.(0) <- neg_infinity;
+              scan plib.Tech.Lib.bufs.(ti) sgroup;
+              ins_s.((src * ntypes) + ti) <- scan_s.(0);
+              ins_best.((src * ntypes) + ti) <- !scan_best;
+              if scan_s.(0) > neg_infinity then begin
+                wit_c.(!nw) <- plib.Tech.Lib.c_in.(ti);
+                wit_q.(!nw) <- scan_s.(0);
+                incr nw
+              end
+        end
+      done;
+    !nw
+  in
   (* Propagate a whole table through the wire below node [at]; group order
      is preserved because add_wire shifts each coordinate by an amount
-     depending only on earlier sort keys. *)
-  let apply_wire ~at w tbl =
-    Array.map
-      (fun group ->
-        match group with
-        | [] -> []
-        | _ ->
-            let families =
-              if w.T.length <= 0.0 then [ List.map (C.add_wire w) group ]
-              else
-                (* simultaneous wire sizing: each candidate climbs the wire at
-                   every available width (Lillis et al. [18]) *)
-                List.map
-                  (fun width ->
-                    if width = 1.0 then List.map (C.add_wire w) group
-                    else begin
-                      let sized = T.resize_wire w ~width ~area_frac in
-                      List.map
-                        (fun (a : C.t) ->
-                          C.resize ~arena ~node:at ~width (C.add_wire sized a))
-                        group
-                    end)
-                  widths
+     depending only on earlier sort keys. [bound] is the Upbound value of
+     the wire's upper end — the site the climbed table lives at — and
+     with predictive pruning on, candidates the previously emitted one
+     already kills are dropped inside the climb, before allocation. *)
+  let apply_wire ~at ~bound ~scan:dest_scan w tbl =
+    if pred && dest_scan then begin
+      (* [dest_scan] implies a single-width climb into a feasible
+         single-child node: slots are processed bucket-ascending so each
+         slot's witnesses come from already-climbed source groups *)
+      Array.fill ins_s 0 (nslots * ntypes) Float.nan;
+      let result = Array.make nslots [] in
+      for sl = 0 to nslots - 1 do
+        let nw = fill_witnesses sl in
+        match tbl.(sl) with
+        | [] -> scan_src.(sl) <- []
+        | group ->
+            let kept, full, emitted, prekilled =
+              C.climb_pred_scan ~bound ~wc:wit_c ~wq:wit_q ~nw w group
             in
-            List.iter (fun f -> generated := !generated + List.length f) families;
+            generated := !generated + emitted;
+            pred_pruned := !pred_pruned + prekilled;
+            scan_src.(sl) <- full;
+            result.(sl) <- kept
+      done;
+      scan_valid := true;
+      result
+    end
+    else begin
+      scan_valid := false;
+      Array.map
+        (fun group ->
+          match group with
+          | [] -> []
+          | _ ->
+            let families =
+              if pred then begin
+                let family f =
+                  let kept, emitted, prekilled = f () in
+                  generated := !generated + emitted;
+                  pred_pruned := !pred_pruned + prekilled;
+                  kept
+                in
+                if w.T.length <= 0.0 then [ family (fun () -> C.climb_pred ~bound w group) ]
+                else
+                  List.map
+                    (fun width ->
+                      if width = 1.0 then family (fun () -> C.climb_pred ~bound w group)
+                      else begin
+                        let sized = T.resize_wire w ~width ~area_frac in
+                        family (fun () ->
+                            C.climb_resize_pred ~arena ~bound ~node:at ~width sized group)
+                      end)
+                    widths
+              end
+              else begin
+                let families =
+                  if w.T.length <= 0.0 then [ List.map (C.add_wire w) group ]
+                  else
+                    (* simultaneous wire sizing: each candidate climbs the wire at
+                       every available width (Lillis et al. [18]) *)
+                    List.map
+                      (fun width ->
+                        if width = 1.0 then List.map (C.add_wire w) group
+                        else begin
+                          let sized = T.resize_wire w ~width ~area_frac in
+                          List.map
+                            (fun (a : C.t) ->
+                              C.resize ~arena ~node:at ~width (C.add_wire sized a))
+                            group
+                        end)
+                      widths
+                in
+                List.iter (fun f -> generated := !generated + List.length f) families;
+                families
+              end
+            in
             let combined =
               match families with [ f ] -> f | fs -> F.merge_sorted C.cmp_frontier fs
             in
             sweep (drop_noisy combined))
-      tbl
+        tbl
+    end
   in
   (* Join the two child tables of a branch node. Delay mode walks the two
      frontiers linearly (Van Ginneken); noise mode must consider every
      pairing — a pairing off the (c, q) frontier can be the only one whose
      noise slack survives the upstream wires. *)
   let exhaustive = noise && prune && not cq_prune in
-  let merge_groups lt rt =
-    let runs = Array.make nslots [] in
-    for sl = 0 to nslots - 1 do
-      match lt.(sl) with
-      | [] -> ()
-      | lgroup ->
-          let p = sl land 1 and kl = sl asr 1 in
-          for kr = 0 to nbuckets - 1 do
-            if kl + kr <= kmax then begin
-              match rt.((2 * kr) + p) with
-              | [] -> ()
-              | rgroup ->
-                  let pairs, n =
-                    if exhaustive then begin
-                      let ps = F.cross ~join:(C.merge ~arena) lgroup rgroup in
-                      (ps, List.length ps)
-                    end
-                    else C.merge_delay ~arena lgroup rgroup
-                  in
-                  generated := !generated + n;
-                  let target = (if counted then 2 * (kl + kr) else 0) + p in
-                  runs.(target) <- pairs :: runs.(target)
-            end
-          done
-    done;
-    Array.map
-      (fun rs ->
-        match rs with
-        | [] -> []
-        | _ ->
-            if exhaustive then sweep (List.sort C.cmp_frontier (List.concat rs))
-            else if prune then begin
-              (* non-exhaustive + prune always staircase-sweeps, so the
-                 fused k-way merge avoids the merged intermediate *)
-              let kept, dropped = C.merge_sweep_delay rs in
+  let merge_groups ~bound lt rt =
+    scan_valid := false;
+    if pred then begin
+      (* Cross-run predictive merge (DESIGN.md §12): collect the pairing
+         walks per target slot first, then run all walks feeding one
+         slot through a single fused selection. The slope rule then sees
+         every previously materialized pairing of the slot — the
+         cross-run drops the sweep-only engine pays for after
+         materializing become pre-materialization kills. *)
+      let pending = Array.make nslots [] in
+      for sl = 0 to nslots - 1 do
+        match lt.(sl) with
+        | [] -> ()
+        | lgroup ->
+            let p = sl land 1 and kl = sl asr 1 in
+            for kr = 0 to nbuckets - 1 do
+              if kl + kr <= kmax then begin
+                match rt.((2 * kr) + p) with
+                | [] -> ()
+                | rgroup ->
+                    let target = (if counted then 2 * (kl + kr) else 0) + p in
+                    pending.(target) <- (lgroup, rgroup) :: pending.(target)
+              end
+            done
+      done;
+      Array.map
+        (fun walks ->
+          match walks with
+          | [] -> []
+          | _ ->
+              let kept, emitted, dropped, prekilled =
+                C.merge_sweep_delay_pred ~arena ~bound walks
+              in
+              generated := !generated + emitted;
               pruned := !pruned + dropped;
-              kept
-            end
-            else F.merge_sorted C.cmp_frontier rs)
-      runs
+              pred_pruned := !pred_pruned + prekilled;
+              kept)
+        pending
+    end
+    else begin
+      let runs = Array.make nslots [] in
+      for sl = 0 to nslots - 1 do
+        match lt.(sl) with
+        | [] -> ()
+        | lgroup ->
+            let p = sl land 1 and kl = sl asr 1 in
+            for kr = 0 to nbuckets - 1 do
+              if kl + kr <= kmax then begin
+                match rt.((2 * kr) + p) with
+                | [] -> ()
+                | rgroup ->
+                    let pairs, n =
+                      if exhaustive then begin
+                        let ps = F.cross ~join:(C.merge ~arena) lgroup rgroup in
+                        (ps, List.length ps)
+                      end
+                      else C.merge_delay ~arena lgroup rgroup
+                    in
+                    generated := !generated + n;
+                    let target = (if counted then 2 * (kl + kr) else 0) + p in
+                    runs.(target) <- pairs :: runs.(target)
+              end
+            done
+      done;
+      Array.map
+        (fun rs ->
+          match rs with
+          | [] -> []
+          | _ ->
+              if exhaustive then sweep (List.sort C.cmp_frontier (List.concat rs))
+              else if prune then begin
+                (* non-exhaustive + prune always staircase-sweeps, so the
+                   fused k-way merge avoids the merged intermediate *)
+                let kept, dropped = C.merge_sweep_delay rs in
+                pruned := !pruned + dropped;
+                kept
+              end
+              else F.merge_sorted C.cmp_frontier rs)
+        runs
+    end
   in
   (* Step 5 (Figs. 5 and 11): buffer insertions at a feasible node. All
      insertions of one buffer type into one group share their load (c_in),
@@ -197,27 +363,51 @@ let run ?(prune = true) ?(widths = [ 1.0 ]) ?(area_frac = 0.4) ?mutation ~noise 
      candidate it would make noisy; the unbuffered noise frontier itself
      stays in the group, so a quieter-but-slower candidate survives for
      upstream wires to consume. *)
-  let insert_buffers v tbl =
+  let insert_buffers ~bound v tbl =
+    (* when the table came from a witness-pruned climb, insertions scan
+       the full climbed lists (a witness victim never enters the
+       frontier but can still be the best insertion source), reusing the
+       per-(slot, type) scans fill_witnesses already ran *)
+    let use_cache = !scan_valid in
+    scan_valid := false;
     let additions = Array.make nslots [] in
     Array.iteri
       (fun sl group ->
-        match group with
+        let sgroup = if use_cache then scan_src.(sl) else group in
+        match sgroup with
         | [] -> ()
         | _ ->
             (* the slot-level bucket check covers per-candidate count
                eligibility: a counted group holds one exact count *)
             if sl asr 1 < kmax then
-              List.iter
-                (fun (b : Tech.Buffer.t) ->
-                  scan_s.(0) <- neg_infinity;
-                  scan b group;
-                  if scan_s.(0) > neg_infinity then begin
+              for ti = 0 to ntypes - 1 do
+                let b = plib.Tech.Lib.bufs.(ti) in
+                (if use_cache && not (Float.is_nan ins_s.((sl * ntypes) + ti)) then begin
+                   scan_s.(0) <- ins_s.((sl * ntypes) + ti);
+                   scan_best := ins_best.((sl * ntypes) + ti)
+                 end
+                 else begin
+                   scan_s.(0) <- neg_infinity;
+                   scan b sgroup
+                 end);
+                if scan_s.(0) > neg_infinity then begin
+                  (* one insertion per (group, type); its destination
+                     group is known before anything is materialized *)
+                  let p = sl land 1 in
+                  let p' = if plib.Tech.Lib.inverting.(ti) then 1 - p else p in
+                  let target = (if counted then 2 * ((sl asr 1) + 1) else 0) + p' in
+                  if
+                    pred
+                    && C.covered ~bound ~c:plib.Tech.Lib.c_in.(ti) ~q:scan_s.(0)
+                         tbl.(target)
+                  then incr pred_pruned
+                  else begin
                     let cand = C.add_buffer ~arena ~at:v b !scan_best in
                     incr generated;
-                    let target = slot cand in
                     additions.(target) <- cand :: additions.(target)
-                  end)
-                lib)
+                  end
+                end
+              done)
       tbl;
     Array.iteri
       (fun sl cands ->
@@ -232,8 +422,29 @@ let run ?(prune = true) ?(widths = [ 1.0 ]) ?(area_frac = 0.4) ?mutation ~noise 
             end
             else tbl.(sl) <- sweep (List.merge C.cmp_frontier tbl.(sl) cands))
       additions;
+    (* per-buffer-type frontier census at the insertion site: how many
+       candidates of each group are currently headed by each library
+       type (Li & Shi's per-type lists); the peak over all sites is the
+       type_widths statistic *)
+    Array.iter
+      (fun group ->
+        Array.fill type_scratch 0 ntypes 0;
+        List.iter
+          (fun (a : C.t) ->
+            match Trace.top_buffer arena (C.trace a) with
+            | None -> ()
+            | Some b ->
+                let ti = Tech.Lib.index_of plib b in
+                if ti >= 0 then begin
+                  let w = type_scratch.(ti) + 1 in
+                  type_scratch.(ti) <- w;
+                  if w > type_widths.(ti) then type_widths.(ti) <- w
+                end)
+          group)
+      tbl;
     tbl
   in
+  let site_bound v = if pred then bounds.(v) else 0.0 in
   let rec at v =
     match T.kind tree v with
     | T.Sink s ->
@@ -243,17 +454,31 @@ let run ?(prune = true) ?(widths = [ 1.0 ]) ?(area_frac = 0.4) ?mutation ~noise 
         tbl
     | T.Buffered _ | T.Source _ -> assert false
     | T.Internal ->
+        let bound = site_bound v in
         let base =
           match T.children tree v with
           | [ c ] -> above c
-          | [ cl; cr ] -> merge_groups (above cl) (above cr)
+          | [ cl; cr ] -> merge_groups ~bound (above cl) (above cr)
           | _ -> assert false
         in
-        let base = if T.feasible tree v then insert_buffers v base else base in
+        let base = if T.feasible tree v then insert_buffers ~bound v base else base in
         note_width base;
         base
   and above c =
-    let tbl = apply_wire ~at:c (T.wire_to tree c) (at c) in
+    let dest = T.parent tree c in
+    let dest_scan =
+      pred && single_width
+      &&
+      match T.kind tree dest with
+      | T.Internal -> (
+          match T.children tree dest with
+          | [ _ ] -> T.feasible tree dest
+          | _ -> false)
+      | _ -> false
+    in
+    let tbl =
+      apply_wire ~at:c ~bound:(site_bound dest) ~scan:dest_scan (T.wire_to tree c) (at c)
+    in
     note_width tbl;
     tbl
   in
@@ -266,7 +491,7 @@ let run ?(prune = true) ?(widths = [ 1.0 ]) ?(area_frac = 0.4) ?mutation ~noise 
   let top =
     match T.children tree root with
     | [ c ] -> above c
-    | [ cl; cr ] -> merge_groups (above cl) (above cr)
+    | [ cl; cr ] -> merge_groups ~bound:(site_bound root) (above cl) (above cr)
     | _ -> assert false
   in
   let finals = ref [] in
@@ -304,7 +529,9 @@ let run ?(prune = true) ?(widths = [ 1.0 ]) ?(area_frac = 0.4) ?mutation ~noise 
     {
       generated = !generated;
       pruned = !pruned;
+      pred_pruned = !pred_pruned;
       peak_width = !peak_width;
+      type_widths;
       arena = Trace.size arena;
       minor_words = gc1.Gc.minor_words -. gc0.Gc.minor_words;
       major_words = gc1.Gc.major_words -. gc0.Gc.major_words;

@@ -44,6 +44,12 @@ type mutation =
       (** buffers and the source driver attach to candidates without the
           noise check of Figs. 10-11, so returned "noise-clean" solutions
           can violate margins *)
+  | Loose_pred_bound
+      (** the predictive upstream-resistance bound ({!Rctree.Upbound})
+          inflated by 25%: the slope rule over-prunes, killing candidates
+          that could still win, so predictive outcomes drift from the
+          [`Sweep_only] reference — the bug class the pred-vs-sweep
+          oracle exists to catch *)
 (** Deliberately broken engine variants for verifying the verifier:
     [Check.Diff] and [buffopt fuzz --mutate] run campaigns against a
     mutated engine and must catch it (the mutation smoke of DESIGN.md
@@ -51,15 +57,27 @@ type mutation =
 
 type stats = {
   generated : int;
-      (** candidates materialized before any pruning: sink seeds, wire
-          climbs (one per width), branch-merge pairings and buffer
-          insertions (Ablation B) *)
+      (** candidates materialized: sink seeds, wire climbs (one per
+          width), branch-merge pairings and buffer insertions that were
+          actually allocated. Predictive pruning kills candidates {e
+          before} this point; they are counted in [pred_pruned] only. *)
   pruned : int;
-      (** candidates discarded: dominance sweeps plus noise-mode drops of
-          candidates whose noise slack went negative *)
+      (** materialized candidates discarded afterwards: dominance sweeps
+          plus noise-mode drops of candidates whose noise slack went
+          negative *)
+  pred_pruned : int;
+      (** candidates the predictive engine discarded before
+          materialization (DESIGN.md §12): no record, no arena node.
+          Always 0 under [`Sweep_only], in noise mode, and with
+          [prune = false]. *)
   peak_width : int;
       (** widest single (parity, bucket) frontier observed at any node —
           the engine's working-set measure *)
+  type_widths : int array;
+      (** per-buffer-type peak populations, indexed like the library: the
+          most candidates headed by each buffer type ({!Trace.top_buffer})
+          seen in any one (parity, bucket) group at an insertion site —
+          the widths of Li & Shi's per-type lists *)
   arena : int;
       (** solution-trace arena nodes recorded this run (DESIGN.md §11):
           one per buffer insertion, branch-merge pairing and wire-sizing
@@ -88,8 +106,18 @@ type outcome = {
   stats : stats;
 }
 
+val considered : stats -> int
+(** [generated + pred_pruned]: every candidate the run looked at,
+    materialized or not — the figure comparable across pruning modes. *)
+
+val survivors : stats -> int
+(** [generated - pruned]: materialized candidates still alive when the
+    run ended. The conservation identity the dp-invariants oracle
+    checks is [considered = survivors + pruned + pred_pruned]. *)
+
 val run :
   ?prune:bool ->
+  ?pruning:[ `Predictive | `Sweep_only ] ->
   ?widths:float list ->
   ?area_frac:float ->
   ?mutation:mutation ->
@@ -105,8 +133,17 @@ val run :
     [Buffopt.optimize]). [prune] (default true) disables candidate
     pruning when false — exponential; only for Ablation B on small
     trees (the branch merge then falls back to the linear walk in both
-    modes, matching the pruned delay-mode exploration). [widths]
-    (multiples of minimum width, default [[1.]]) enables simultaneous
-    wire sizing per {!Rctree.Tree.resize_wire} with the given
-    [area_frac] (default 0.4); chosen widths are reported in
-    [result.sizes] and applied with {!Wiresize.apply_sizes}. *)
+    modes, matching the pruned delay-mode exploration). [pruning]
+    (default [`Predictive]) selects the Li & Shi predictive engine:
+    wire climbs, branch-merge pairings and buffer insertions are
+    pre-checked against the node's {!Rctree.Upbound} slope bound and
+    discarded before materialization (DESIGN.md §12). Every outcome —
+    slacks, placements, sizes, by_count — is byte-identical to
+    [`Sweep_only]; only [generated]/[pred_pruned]/[pruned]/[arena] and
+    allocation figures move. Predictive pruning is automatically off
+    (and [pred_pruned = 0]) in noise mode and under [prune = false],
+    where the slope argument does not apply. [widths] (multiples of
+    minimum width, default [[1.]]) enables simultaneous wire sizing per
+    {!Rctree.Tree.resize_wire} with the given [area_frac] (default
+    0.4); chosen widths are reported in [result.sizes] and applied with
+    {!Wiresize.apply_sizes}. *)

@@ -48,3 +48,9 @@ val placements : arena -> handle -> Rctree.Surgery.placement list
 val sizes : arena -> handle -> (int * float) list
 (** Reconstruct the wire-sizing decisions recorded by [Resize] nodes,
     in the order the eager [sizes] lists used to be reported. *)
+
+val top_buffer : arena -> handle -> Tech.Buffer.t option
+(** The buffer a candidate's solution is currently headed by — the most
+    recent [Buf] reachable through [Resize] links only. [None] for leaf
+    and merged ([Join]-topped) solutions. Classifies candidates into the
+    per-buffer-type frontier populations {!Dp.stats} reports. *)

@@ -3,9 +3,10 @@ let best_exn outcome =
   | Some r -> r
   | None -> assert false (* the zero-buffer candidate always survives without noise checks *)
 
-let run ~lib tree = best_exn (Dp.run ~noise:false ~mode:Dp.Single ~lib tree)
+let run ?pruning ~lib tree = best_exn (Dp.run ?pruning ~noise:false ~mode:Dp.Single ~lib tree)
 
-let run_max ~max_buffers ~lib tree =
-  best_exn (Dp.run ~noise:false ~mode:(Dp.Per_count max_buffers) ~lib tree)
+let run_max ?pruning ~max_buffers ~lib tree =
+  best_exn (Dp.run ?pruning ~noise:false ~mode:(Dp.Per_count max_buffers) ~lib tree)
 
-let by_count ~kmax ~lib tree = (Dp.run ~noise:false ~mode:(Dp.Per_count kmax) ~lib tree).Dp.by_count
+let by_count ?pruning ~kmax ~lib tree =
+  (Dp.run ?pruning ~noise:false ~mode:(Dp.Per_count kmax) ~lib tree).Dp.by_count

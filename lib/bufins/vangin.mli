@@ -1,15 +1,31 @@
 (** Van Ginneken's delay-optimal buffer insertion [31] (paper Figs. 4-5),
     with the Lillis library/polarity generalization: the delay-only
-    baseline the paper calls DelayOpt. *)
+    baseline the paper calls DelayOpt.
 
-val run : lib:Tech.Buffer.t list -> Rctree.Tree.t -> Dp.result
+    [?pruning] on every entry point selects the candidate engine (see
+    {!Dp.run}): [`Predictive] (default) pre-kills candidates against the
+    Li & Shi slope bound, [`Sweep_only] is the plain dominance-sweep
+    engine. Outcomes are byte-identical either way. *)
+
+val run :
+  ?pruning:[ `Predictive | `Sweep_only ] -> lib:Tech.Buffer.t list -> Rctree.Tree.t -> Dp.result
 (** Maximize the source timing slack; no noise constraints. Always
     succeeds (the zero-buffer candidate survives). *)
 
-val run_max : max_buffers:int -> lib:Tech.Buffer.t list -> Rctree.Tree.t -> Dp.result
+val run_max :
+  ?pruning:[ `Predictive | `Sweep_only ] ->
+  max_buffers:int ->
+  lib:Tech.Buffer.t list ->
+  Rctree.Tree.t ->
+  Dp.result
 (** DelayOpt(k): best slack using at most [max_buffers] buffers
     (Table III). *)
 
-val by_count : kmax:int -> lib:Tech.Buffer.t list -> Rctree.Tree.t -> Dp.result option array
+val by_count :
+  ?pruning:[ `Predictive | `Sweep_only ] ->
+  kmax:int ->
+  lib:Tech.Buffer.t list ->
+  Rctree.Tree.t ->
+  Dp.result option array
 (** Best slack for each exact buffer count [0..kmax] (Table IV pairs
     DelayOpt and BuffOpt at equal counts). *)

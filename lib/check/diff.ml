@@ -238,10 +238,30 @@ let dp_invariants ?mutation (inst : Instance.t) =
   if s.Dp.generated <= 0 then failf "stats: generated = %d" s.Dp.generated;
   if s.Dp.pruned < 0 || s.Dp.pruned > s.Dp.generated then
     failf "stats: pruned %d out of %d generated" s.Dp.pruned s.Dp.generated;
+  if s.Dp.pred_pruned < 0 then failf "stats: pred_pruned = %d" s.Dp.pred_pruned;
+  if Dp.considered s <> Dp.survivors s + s.Dp.pruned + s.Dp.pred_pruned then
+    failf "stats: conservation broken: considered %d <> survivors %d + pruned %d + pred %d"
+      (Dp.considered s) (Dp.survivors s) s.Dp.pruned s.Dp.pred_pruned;
   if s.Dp.peak_width <= 0 || s.Dp.peak_width > s.Dp.generated then
     failf "stats: peak width %d vs %d generated" s.Dp.peak_width s.Dp.generated;
   if s.Dp.arena <= 0 then failf "stats: trace arena size %d" s.Dp.arena;
+  if s.Dp.arena > s.Dp.generated + 1 then
+    failf "stats: arena %d exceeds generated %d + leaf" s.Dp.arena s.Dp.generated;
   if s.Dp.minor_words < 0.0 then failf "stats: minor words %.0f" s.Dp.minor_words;
+  (* noise mode never applies the slope rule, knob or not *)
+  if s.Dp.pred_pruned <> 0 then
+    failf "stats: noise-mode run reports pred_pruned = %d" s.Dp.pred_pruned;
+  (* the sweep-only engine must report no predictive activity at all and
+     reproduce the (predictive-default) delay-mode slack bit-for-bit *)
+  let sw = Dp.run ?mutation ~pruning:`Sweep_only ~noise:false ~mode:Dp.Single ~lib seg in
+  if sw.Dp.stats.Dp.pred_pruned <> 0 then
+    failf "stats: Sweep_only run reports pred_pruned = %d" sw.Dp.stats.Dp.pred_pruned;
+  (match sw.Dp.best with
+  | Some b when b.Dp.slack <> v.Dp.slack ->
+      failf "Sweep_only delay slack %.17g differs from predictive %.17g" b.Dp.slack
+        v.Dp.slack
+  | None -> failf "Sweep_only delay-mode DP returned no solution"
+  | Some _ -> ());
   Pass
 
 (* The trace-arena oracle: the DP no longer carries placement lists on
@@ -290,6 +310,83 @@ let dp_trace ?mutation (inst : Instance.t) =
     o.Dp.by_count;
   Pass
 
+(* The predictive-pruning oracle (DESIGN.md §12): the [`Predictive]
+   engine must be indistinguishable from [`Sweep_only] on everything an
+   optimizer returns — bit-equal slacks, identical placements and wire
+   sizes, bucket-for-bucket equal by_count arrays — across delay and
+   noise modes, Single and Per_count. Only the statistics may differ,
+   and those in one direction: the predictive side materializes no more
+   candidates than the sweep side, looks at no more than the sweep side
+   generates, and both sides' drop accounting is conserved. A mutation
+   is passed to BOTH sides, so an engine bug that breaks predictive and
+   sweep-only runs identically is the other oracles' business; what this
+   one catches is exactly divergence — e.g. [Loose_pred_bound]
+   over-pruning the predictive side. *)
+let pred_vs_sweep ?mutation (inst : Instance.t) =
+  let lib = inst.Instance.lib in
+  let seg = segmented inst in
+  let eq_placements what (a : Rctree.Surgery.placement list) b =
+    if List.length a <> List.length b then
+      failf "%s: %d placements vs %d" what (List.length a) (List.length b);
+    List.iter2
+      (fun (p : Rctree.Surgery.placement) (q : Rctree.Surgery.placement) ->
+        if
+          p.Rctree.Surgery.node <> q.Rctree.Surgery.node
+          || p.Rctree.Surgery.dist <> q.Rctree.Surgery.dist
+          || p.Rctree.Surgery.buffer.Tech.Buffer.name
+             <> q.Rctree.Surgery.buffer.Tech.Buffer.name
+        then
+          failf "%s: placement (%d, %.17g, %s) vs (%d, %.17g, %s)" what
+            p.Rctree.Surgery.node p.Rctree.Surgery.dist
+            p.Rctree.Surgery.buffer.Tech.Buffer.name q.Rctree.Surgery.node
+            q.Rctree.Surgery.dist q.Rctree.Surgery.buffer.Tech.Buffer.name)
+      a b
+  in
+  let eq_result what (a : Dp.result option) (b : Dp.result option) =
+    match (a, b) with
+    | None, None -> ()
+    | Some a, None -> failf "%s: predictive finds slack %.17g, sweep none" what a.Dp.slack
+    | None, Some b -> failf "%s: sweep finds slack %.17g, predictive none" what b.Dp.slack
+    | Some a, Some b ->
+        if a.Dp.slack <> b.Dp.slack then
+          failf "%s: slack %.17g vs %.17g" what a.Dp.slack b.Dp.slack;
+        if a.Dp.count <> b.Dp.count then failf "%s: count %d vs %d" what a.Dp.count b.Dp.count;
+        eq_placements what a.Dp.placements b.Dp.placements;
+        if a.Dp.sizes <> b.Dp.sizes then failf "%s: wire-size choices differ" what
+  in
+  let conserved what (s : Dp.stats) =
+    if Dp.considered s <> Dp.survivors s + s.Dp.pruned + s.Dp.pred_pruned then
+      failf "%s: accounting broken: considered %d <> survivors %d + pruned %d + pred %d"
+        what (Dp.considered s) (Dp.survivors s) s.Dp.pruned s.Dp.pred_pruned
+  in
+  let check what ~noise ~mode =
+    let p = Dp.run ?mutation ~pruning:`Predictive ~noise ~mode ~lib seg in
+    let s = Dp.run ?mutation ~pruning:`Sweep_only ~noise ~mode ~lib seg in
+    eq_result what p.Dp.best s.Dp.best;
+    let pb = p.Dp.by_count and sb = s.Dp.by_count in
+    if Array.length pb <> Array.length sb then
+      failf "%s: by_count length %d vs %d" what (Array.length pb) (Array.length sb);
+    Array.iteri
+      (fun k a -> eq_result (Printf.sprintf "%s bucket %d" what k) a sb.(k))
+      pb;
+    let ps = p.Dp.stats and ss = s.Dp.stats in
+    conserved (what ^ " predictive") ps;
+    conserved (what ^ " sweep") ss;
+    if ss.Dp.pred_pruned <> 0 then
+      failf "%s: sweep side reports pred_pruned = %d" what ss.Dp.pred_pruned;
+    if ps.Dp.generated > ss.Dp.generated then
+      failf "%s: predictive materialized %d > sweep's %d" what ps.Dp.generated
+        ss.Dp.generated;
+    if Dp.considered ps > ss.Dp.generated then
+      failf "%s: predictive considered %d > sweep generated %d" what (Dp.considered ps)
+        ss.Dp.generated
+  in
+  check "delay/single" ~noise:false ~mode:Dp.Single;
+  check "delay/per-count" ~noise:false ~mode:(Dp.Per_count 8);
+  check "noise/single" ~noise:true ~mode:Dp.Single;
+  check "noise/per-count" ~noise:true ~mode:(Dp.Per_count 8);
+  Pass
+
 let run ?mutation (inst : Instance.t) =
   let tag v =
     match v with
@@ -305,6 +402,7 @@ let run ?mutation (inst : Instance.t) =
     | Instance.Buffopt_problem3 -> buffopt_problem3 ?mutation inst
     | Instance.Dp_invariants -> dp_invariants ?mutation inst
     | Instance.Dp_trace -> dp_trace ?mutation inst
+    | Instance.Pred_vs_sweep -> pred_vs_sweep ?mutation inst
   with
   | v -> tag v
   | exception Failed m -> tag (Fail m)

@@ -11,7 +11,11 @@
     ({!Bufins.Dp.mutation}) for the engine-under-test side only — the
     reference sides (brute force, Algorithms 1/2, the production
     [Buffopt] driver) stay healthy — to verify that campaigns catch
-    known bug classes (DESIGN.md §10). *)
+    known bug classes (DESIGN.md §10). The one exception is
+    [Pred_vs_sweep], which mutates {e both} of its sides: it exists to
+    catch divergence between the predictive and sweep-only engines
+    (e.g. [Loose_pred_bound]), not engine bugs that break both runs the
+    same way. *)
 
 type verdict =
   | Pass

@@ -92,6 +92,9 @@ let instance_for oracle rng =
   | Instance.Dp_trace ->
       Instance.make ~tree:(random_net rng) ~lib:Tech.Lib.default_library ~seg_len:500e-6
         oracle
+  | Instance.Pred_vs_sweep ->
+      Instance.make ~tree:(random_net rng) ~lib:Tech.Lib.default_library ~seg_len:500e-6
+        oracle
 
 let instance rng =
   let oracle = Util.Rng.choice rng (Array.of_list Instance.all_oracles) in

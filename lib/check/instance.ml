@@ -8,6 +8,7 @@ type oracle =
   | Buffopt_problem3
   | Dp_invariants
   | Dp_trace
+  | Pred_vs_sweep
 
 let all_oracles =
   [
@@ -18,6 +19,7 @@ let all_oracles =
     Buffopt_problem3;
     Dp_invariants;
     Dp_trace;
+    Pred_vs_sweep;
   ]
 
 let oracle_name = function
@@ -28,6 +30,7 @@ let oracle_name = function
   | Buffopt_problem3 -> "buffopt-problem3"
   | Dp_invariants -> "dp-invariants"
   | Dp_trace -> "dp-trace"
+  | Pred_vs_sweep -> "pred-vs-sweep"
 
 let oracle_of_name s = List.find_opt (fun o -> oracle_name o = s) all_oracles
 

@@ -29,6 +29,13 @@ type oracle =
           solution it claims: re-applied and re-evaluated from scratch,
           the placement list has exactly [count] entries and reproduces
           the claimed slack, and a noise-mode winner is noise-clean *)
+  | Pred_vs_sweep
+      (** the predictive engine ([`Predictive], DESIGN.md §12) returns
+          byte-identical outcomes — slack, count, placements, sizes,
+          every by_count bucket — to the plain [`Sweep_only] engine in
+          delay, noise, Single and Per_count modes, while generating no
+          more candidates than it and keeping the drop accounting
+          conserved on both sides *)
 
 val all_oracles : oracle list
 

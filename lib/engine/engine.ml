@@ -97,8 +97,11 @@ let optimize ?domains ?chunk ?retries ?seg_len ?kmax ~algorithm ~lib jobs =
   (* merge in job order: the aggregate is independent of scheduling *)
   let ok = ref 0 and failed = ref 0 and buffers = ref 0 in
   let worst = ref infinity in
-  let gen = ref 0 and pruned = ref 0 and peak = ref 0 in
+  let gen = ref 0 and pruned = ref 0 and pred = ref 0 and peak = ref 0 in
   let arena = ref 0 and minor = ref 0.0 and major = ref 0.0 in
+  (* per-type peaks take the elementwise max across nets; libraries are
+     uniform within a batch, so the first net fixes the width *)
+  let twidths = ref [||] in
   Array.iter
     (fun { outcome; _ } ->
       match outcome with
@@ -109,7 +112,15 @@ let optimize ?domains ?chunk ?retries ?seg_len ?kmax ~algorithm ~lib jobs =
           let s = r.Bufins.Buffopt.stats in
           gen := !gen + s.Bufins.Dp.generated;
           pruned := !pruned + s.Bufins.Dp.pruned;
+          pred := !pred + s.Bufins.Dp.pred_pruned;
           peak := max !peak s.Bufins.Dp.peak_width;
+          let tw = s.Bufins.Dp.type_widths in
+          if Array.length !twidths < Array.length tw then begin
+            let m = Array.make (Array.length tw) 0 in
+            Array.blit !twidths 0 m 0 (Array.length !twidths);
+            twidths := m
+          end;
+          Array.iteri (fun i w -> if w > !twidths.(i) then !twidths.(i) <- w) tw;
           arena := !arena + s.Bufins.Dp.arena;
           minor := !minor +. s.Bufins.Dp.minor_words;
           major := !major +. s.Bufins.Dp.major_words
@@ -125,7 +136,9 @@ let optimize ?domains ?chunk ?retries ?seg_len ?kmax ~algorithm ~lib jobs =
       {
         Bufins.Dp.generated = !gen;
         pruned = !pruned;
+        pred_pruned = !pred;
         peak_width = !peak;
+        type_widths = !twidths;
         arena = !arena;
         minor_words = !minor;
         major_words = !major;
@@ -148,17 +161,19 @@ let signature r =
       match outcome with
       | Done (run : Bufins.Buffopt.run) ->
           let s = run.Bufins.Buffopt.stats in
-          Printf.bprintf b "%s ok count=%d slack=%.17g dp=%d/%d/%d\n" net
+          Printf.bprintf b "%s ok count=%d slack=%.17g dp=%d/%d/%d/%d\n" net
             run.Bufins.Buffopt.count run.Bufins.Buffopt.predicted_slack
-            s.Bufins.Dp.generated s.Bufins.Dp.pruned s.Bufins.Dp.peak_width
+            s.Bufins.Dp.generated s.Bufins.Dp.pruned s.Bufins.Dp.pred_pruned
+            s.Bufins.Dp.peak_width
       | Failed { attempts = _; error } ->
           (* attempts depend on the retry knob, not on scheduling, but
              keep the signature about the verdict alone *)
           Printf.bprintf b "%s FAILED %s\n" net error)
     r.results;
-  Printf.bprintf b "aggregate ok=%d failed=%d buffers=%d worst=%.17g dp=%d/%d/%d\n"
-    r.ok r.failed r.buffers r.worst_slack r.dp.Bufins.Dp.generated
-    r.dp.Bufins.Dp.pruned r.dp.Bufins.Dp.peak_width;
+  Printf.bprintf b
+    "aggregate ok=%d failed=%d buffers=%d worst=%.17g dp=%d/%d/%d/%d\n" r.ok
+    r.failed r.buffers r.worst_slack r.dp.Bufins.Dp.generated
+    r.dp.Bufins.Dp.pruned r.dp.Bufins.Dp.pred_pruned r.dp.Bufins.Dp.peak_width;
   Buffer.contents b
 
 let summary r =
@@ -166,12 +181,12 @@ let summary r =
   Printf.sprintf
     "batch: %d nets optimized, %d infeasible/failed | %d buffers | worst \
      predicted slack %.1f ps | %d domains, %.3f s wall (%.1f nets/s), per-net \
-     %.2f/%.2f/%.2f ms min/mean/max | dp alloc %.1f/%.1f Mwords minor/major, \
-     %d trace nodes"
+     %.2f/%.2f/%.2f ms min/mean/max | dp %d generated, %d pred-pruned, alloc \
+     %.1f/%.1f Mwords minor/major, %d trace nodes"
     r.ok r.failed r.buffers
     (if r.ok = 0 then nan else r.worst_slack *. 1e12)
     t.domains t.wall_s t.jobs_per_s (t.lat_min_s *. 1e3) (t.lat_mean_s *. 1e3)
-    (t.lat_max_s *. 1e3)
+    (t.lat_max_s *. 1e3) r.dp.Bufins.Dp.generated r.dp.Bufins.Dp.pred_pruned
     (r.dp.Bufins.Dp.minor_words /. 1e6)
     (r.dp.Bufins.Dp.major_words /. 1e6)
     r.dp.Bufins.Dp.arena

@@ -1,0 +1,30 @@
+(** Upstream-resistance lower bounds for predictive pruning (Li & Shi,
+    "An O(bn²) Time Algorithm for Optimal Buffer Insertion with b Buffer
+    Types").
+
+    In the buffer-insertion DP, a candidate α at node [v] can only be
+    worth keeping over a lighter candidate β (same group, [c_β < c_α])
+    if α's slack lead survives the driving resistance the extra load
+    [c_α - c_β] must still be charged through. Every path from [v] to
+    the candidate's eventual decoupling gate pays at least
+
+      [bound v = min (r_gate_min if a buffer may sit at v,
+                      wire_res(v → parent) / max_width + bound (parent v))]
+
+    with [bound root = r_drv]: either a buffer is inserted at [v] itself
+    (its drive is at least the library minimum), or the load rides the
+    parent wire — at most [max_width] times widened — and recurses. Any
+    upstream operation then costs α at least [bound v] seconds of slack
+    per farad of extra load, so [q_α - q_β < bound v *. (c_α - c_β)]
+    proves α can never strictly beat β at the source and α may be
+    discarded {e before it is materialized} (DESIGN.md §12 for the full
+    derivation, including why the same per-node bound is sound at every
+    sweep site of the node). *)
+
+val compute : Tree.t -> r_gate_min:float -> max_width:float -> float array
+(** One top-down pass; [bound.(v)] in ohm for every node, [r_drv] at the
+    root. [r_gate_min] is the smallest output resistance in the buffer
+    library ({!Tech.Lib.prepared}[.r_min]); [max_width] the largest wire
+    width the run may choose (1.0 when wire sizing is off). Raises
+    [Invalid_argument] if the root is not a [Source], [r_gate_min <= 0]
+    or [max_width < 1]. *)

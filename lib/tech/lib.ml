@@ -26,3 +26,37 @@ let min_resistance = function
       List.fold_left (fun (best : Buffer.t) (x : Buffer.t) -> if x.r_b < best.r_b then x else best) b bs
 
 let find lib name = List.find_opt (fun (b : Buffer.t) -> b.name = name) lib
+
+type prepared = {
+  bufs : Buffer.t array;
+  by_r : Buffer.t array;
+  r_min : float;
+  c_in : float array;
+  r_b : float array;
+  d_b : float array;
+  nm : float array;
+  inverting : bool array;
+}
+
+let prepare lib =
+  if lib = [] then invalid_arg "Lib.prepare: empty library";
+  let bufs = Array.of_list lib in
+  let by_r = Array.copy bufs in
+  Array.sort (fun (a : Buffer.t) (b : Buffer.t) -> Float.compare a.r_b b.r_b) by_r;
+  {
+    bufs;
+    by_r;
+    r_min = by_r.(0).r_b;
+    c_in = Array.map (fun (b : Buffer.t) -> b.c_in) bufs;
+    r_b = Array.map (fun (b : Buffer.t) -> b.r_b) bufs;
+    d_b = Array.map (fun (b : Buffer.t) -> b.d_b) bufs;
+    nm = Array.map (fun (b : Buffer.t) -> b.nm) bufs;
+    inverting = Array.map (fun (b : Buffer.t) -> b.inverting) bufs;
+  }
+
+let size p = Array.length p.bufs
+
+let index_of p (b : Buffer.t) =
+  let n = Array.length p.bufs in
+  let rec go i = if i >= n then -1 else if p.bufs.(i) == b then i else go (i + 1) in
+  go 0

@@ -20,3 +20,31 @@ val min_resistance : Buffer.t list -> Buffer.t
 
 val find : Buffer.t list -> string -> Buffer.t option
 (** Look a buffer up by name. *)
+
+type prepared = {
+  bufs : Buffer.t array;  (** the library, in its original list order *)
+  by_r : Buffer.t array;  (** the same buffers sorted by [r_b] ascending *)
+  r_min : float;  (** smallest drive resistance in the library, ohm *)
+  c_in : float array;  (** attach parameters in [bufs] order, unboxed *)
+  r_b : float array;
+  d_b : float array;
+  nm : float array;
+  inverting : bool array;
+}
+(** A buffer library preprocessed once per optimizer run: the DP inner
+    loops iterate the unboxed parameter arrays instead of chasing a
+    [Buffer.t] record per attach, [r_min] feeds the predictive-pruning
+    upstream-resistance bound ({!Rctree.Upbound}), and [by_r] gives the
+    drive-strength order Li–Shi-style per-type reasoning wants. [bufs]
+    keeps the original list order because candidate tie-breaking is
+    defined by library iteration order. *)
+
+val prepare : Buffer.t list -> prepared
+(** Raises [Invalid_argument] on an empty library. *)
+
+val size : prepared -> int
+
+val index_of : prepared -> Buffer.t -> int
+(** Index of a buffer (by physical identity) in [bufs]; [-1] when the
+    buffer is not from this library. Used to bucket candidates into
+    per-type statistics. *)

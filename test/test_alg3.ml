@@ -179,27 +179,85 @@ let tests =
               (p.Rctree.Surgery.node, p.Rctree.Surgery.buffer.Tech.Buffer.name))
             r.Bufins.Dp.placements
         in
+        (* both candidate engines must keep committing these solutions:
+           [`Sweep_only] is the frozen PR-4 engine, [`Predictive] (the
+           default since PR 5) must be placement-for-placement identical *)
         List.iter
-          (fun (seed, _, dsol, dslack, nsol, nslack) ->
-            let rng = Util.Rng.create seed in
-            let seg = Rctree.Segment.refine (lowmargin_tree rng) ~max_len:1.5e-3 in
-            let d =
-              match (Bufins.Dp.run ~noise:false ~mode:Bufins.Dp.Single ~lib:mixed_lib seg).Bufins.Dp.best with
-              | Some r -> r
-              | None -> Alcotest.failf "seed %d: delay mode infeasible" seed
-            in
-            Alcotest.(check (list (pair int string)))
-              (Printf.sprintf "seed %d delay placements" seed) dsol (sol d);
-            feq_rel (Printf.sprintf "seed %d delay slack" seed) ~eps:1e-12 dslack
-              d.Bufins.Dp.slack;
-            match Bufins.Alg3.run ~lib:mixed_lib seg with
-            | None -> Alcotest.failf "seed %d: noise mode infeasible" seed
+          (fun (pname, pruning) ->
+            List.iter
+              (fun (seed, _, dsol, dslack, nsol, nslack) ->
+                let rng = Util.Rng.create seed in
+                let seg = Rctree.Segment.refine (lowmargin_tree rng) ~max_len:1.5e-3 in
+                let d =
+                  match
+                    (Bufins.Dp.run ~pruning ~noise:false ~mode:Bufins.Dp.Single
+                       ~lib:mixed_lib seg).Bufins.Dp.best
+                  with
+                  | Some r -> r
+                  | None -> Alcotest.failf "seed %d (%s): delay mode infeasible" seed pname
+                in
+                Alcotest.(check (list (pair int string)))
+                  (Printf.sprintf "seed %d %s delay placements" seed pname)
+                  dsol (sol d);
+                feq_rel
+                  (Printf.sprintf "seed %d %s delay slack" seed pname)
+                  ~eps:1e-12 dslack d.Bufins.Dp.slack;
+                match Bufins.Alg3.run ~pruning ~lib:mixed_lib seg with
+                | None -> Alcotest.failf "seed %d (%s): noise mode infeasible" seed pname
+                | Some r ->
+                    Alcotest.(check (list (pair int string)))
+                      (Printf.sprintf "seed %d %s noise placements" seed pname)
+                      nsol (sol r);
+                    feq_rel
+                      (Printf.sprintf "seed %d %s noise slack" seed pname)
+                      ~eps:1e-12 nslack r.Bufins.Dp.slack)
+              golden)
+          [ ("pred", `Predictive); ("sweep", `Sweep_only) ]);
+    case "golden: a multi-type default-library instance is pinned under both engines" (fun () ->
+        (* five sinks, the full 11-buffer default library, 500 um
+           segmenting: the per-type candidate machinery (prepared
+           library, per-type insertion order, inverter parities) on a
+           realistic mix. Both engines must reproduce this exact
+           solution — nodes, buffer names and slack *)
+        let tree =
+          Fixtures.random_net (Util.Rng.create 42) process ~max_sinks:5 ~max_len:5e-3
+        in
+        let seg = Rctree.Segment.refine tree ~max_len:500e-6 in
+        let expect =
+          [
+            (50, "invx16"); (49, "invx1"); (47, "bufx1"); (4, "invx16"); (8, "invx16");
+            (12, "invx16"); (14, "bufx8"); (13, "invx1"); (18, "invx16"); (22, "invx16");
+            (26, "invx16"); (32, "invx16"); (30, "invx16"); (28, "invx16"); (27, "invx1");
+            (37, "invx16"); (41, "invx16");
+          ]
+        in
+        let expect_slack = 5.9319577892898629e-10 in
+        let sol (r : Bufins.Dp.result) =
+          List.map
+            (fun (p : Rctree.Surgery.placement) ->
+              Alcotest.(check (float 0.0))
+                "buffer sits at the node" 0.0 p.Rctree.Surgery.dist;
+              (p.Rctree.Surgery.node, p.Rctree.Surgery.buffer.Tech.Buffer.name))
+            r.Bufins.Dp.placements
+        in
+        List.iter
+          (fun (pname, pruning) ->
+            (match
+               (Bufins.Dp.run ~pruning ~noise:false ~mode:Bufins.Dp.Single ~lib seg)
+                 .Bufins.Dp.best
+             with
+            | None -> Alcotest.failf "%s: delay mode infeasible" pname
             | Some r ->
                 Alcotest.(check (list (pair int string)))
-                  (Printf.sprintf "seed %d noise placements" seed) nsol (sol r);
-                feq_rel (Printf.sprintf "seed %d noise slack" seed) ~eps:1e-12 nslack
-                  r.Bufins.Dp.slack)
-          golden);
+                  (pname ^ " delay placements") expect (sol r);
+                feq_rel (pname ^ " delay slack") ~eps:1e-12 expect_slack r.Bufins.Dp.slack);
+            match Bufins.Alg3.run ~pruning ~lib seg with
+            | None -> Alcotest.failf "%s: noise mode infeasible" pname
+            | Some r ->
+                Alcotest.(check (list (pair int string)))
+                  (pname ^ " noise placements") expect (sol r);
+                feq_rel (pname ^ " noise slack") ~eps:1e-12 expect_slack r.Bufins.Dp.slack)
+          [ ("pred", `Predictive); ("sweep", `Sweep_only) ]);
     case "finer segmenting can rescue infeasibility" (fun () ->
         let t = Fixtures.two_pin process ~len:12e-3 in
         let coarse = Rctree.Segment.refine t ~max_len:6e-3 in

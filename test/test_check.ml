@@ -273,6 +273,31 @@ let fuzz_tests =
             ~count:40 ()
         in
         Alcotest.(check bool) "campaign failed" true (r.Check.Fuzz.failures <> []));
+    case "mutation smoke: a weakened predictive bound is caught" (fun () ->
+        (* DESIGN.md section 12: inflate the upstream-resistance bound by
+           25% so the slope rule over-prunes; the predictive engine's
+           outcomes drift from the sweep-only reference and the
+           pred-vs-sweep oracle must flag it, with a shrunk repro of at
+           most 4 sinks that fails mutated and passes healthy *)
+        let r =
+          Check.Fuzz.campaign ~mutation:Bufins.Dp.Loose_pred_bound ~jobs:1 ~seed:1
+            ~count:80 ()
+        in
+        Alcotest.(check bool) "campaign failed" true (r.Check.Fuzz.failures <> []);
+        List.iter
+          (fun (f : Check.Fuzz.failure) ->
+            let shrunk = f.Check.Fuzz.shrunk in
+            Alcotest.(check bool)
+              (Printf.sprintf "instance %d shrunk to <= 4 sinks" f.Check.Fuzz.index)
+              true
+              (I.sink_count shrunk <= 4);
+            (match Check.Diff.run ~mutation:Bufins.Dp.Loose_pred_bound shrunk with
+            | Check.Diff.Fail _ -> ()
+            | _ -> Alcotest.fail "shrunk instance no longer fails mutated");
+            match Check.Diff.run shrunk with
+            | Check.Diff.Pass | Check.Diff.Skip _ -> ()
+            | Check.Diff.Fail m -> Alcotest.failf "shrunk instance fails healthy: %s" m)
+          r.Check.Fuzz.failures);
   ]
 
 let suites =

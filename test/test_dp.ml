@@ -116,20 +116,30 @@ let tests =
            noise drops; their difference is what the old candidates_seen
            (post-prune survivors) used to blur together. *)
         let seg = Rctree.Segment.refine (Fixtures.two_pin process ~len:4e-3) ~max_len:1e-3 in
-        let check label ~noise ~mode (g, p, w) =
-          let o = Bufins.Dp.run ~noise ~mode ~lib:single_lib seg in
+        let check label ~pruning ~noise ~mode (g, p, pp, w) =
+          let o = Bufins.Dp.run ~pruning ~noise ~mode ~lib:single_lib seg in
           let s = o.Bufins.Dp.stats in
           Alcotest.(check int) (label ^ " generated") g s.Bufins.Dp.generated;
           Alcotest.(check int) (label ^ " pruned") p s.Bufins.Dp.pruned;
+          Alcotest.(check int) (label ^ " pred-pruned") pp s.Bufins.Dp.pred_pruned;
           Alcotest.(check int) (label ^ " peak width") w s.Bufins.Dp.peak_width;
           (* every result carries the same whole-run stats *)
           match o.Bufins.Dp.best with
           | Some r -> Alcotest.(check int) (label ^ " via result") g r.Bufins.Dp.stats.Bufins.Dp.generated
           | None -> Alcotest.fail (label ^ ": expected a solution")
         in
-        check "delay" ~noise:false ~mode:Bufins.Dp.Single (14, 1, 4);
-        check "noise" ~noise:true ~mode:Bufins.Dp.Single (14, 1, 4);
-        check "per-count" ~noise:false ~mode:(Bufins.Dp.Per_count 4) (21, 0, 3));
+        (* the sweep-only rows are the exact pre-PR-5 engine's figures:
+           [`Sweep_only] must stay literally that engine *)
+        check "delay/sweep" ~pruning:`Sweep_only ~noise:false ~mode:Bufins.Dp.Single (14, 1, 0, 4);
+        check "noise/sweep" ~pruning:`Sweep_only ~noise:true ~mode:Bufins.Dp.Single (14, 1, 0, 4);
+        check "per-count/sweep" ~pruning:`Sweep_only ~noise:false ~mode:(Bufins.Dp.Per_count 4)
+          (21, 0, 0, 3);
+        (* predictive: fewer materialized, the balance pre-killed; noise
+           mode ignores the knob entirely *)
+        check "delay/pred" ~pruning:`Predictive ~noise:false ~mode:Bufins.Dp.Single (11, 0, 2, 3);
+        check "noise/pred" ~pruning:`Predictive ~noise:true ~mode:Bufins.Dp.Single (14, 1, 0, 4);
+        check "per-count/pred" ~pruning:`Predictive ~noise:false ~mode:(Bufins.Dp.Per_count 4)
+          (19, 0, 2, 3));
     qcase ~count:40 "generated bounds pruned and the frontier width" brute_gen (function
       | None -> true
       | Some seg ->
@@ -138,8 +148,13 @@ let tests =
           s.Bufins.Dp.generated > 0
           && s.Bufins.Dp.pruned >= 0
           && s.Bufins.Dp.pruned < s.Bufins.Dp.generated
+          && s.Bufins.Dp.pred_pruned >= 0
+          && Bufins.Dp.considered s
+             = Bufins.Dp.survivors s + s.Bufins.Dp.pruned + s.Bufins.Dp.pred_pruned
           && s.Bufins.Dp.peak_width > 0
-          && s.Bufins.Dp.peak_width <= s.Bufins.Dp.generated);
+          && s.Bufins.Dp.peak_width <= s.Bufins.Dp.generated
+          && Array.for_all (fun tw -> tw >= 0 && tw <= s.Bufins.Dp.peak_width)
+               s.Bufins.Dp.type_widths);
     case "long line benefits from buffering" (fun () ->
         let t = Rctree.Segment.refine (Fixtures.two_pin process ~len:10e-3) ~max_len:500e-6 in
         let r = Bufins.Vangin.run ~lib t in
