@@ -21,18 +21,39 @@ type run = {
   ok : int;
   failed : int;
   buffers : int;
+  minor_words : float;
 }
+
+(* per-worker scheduling columns: the regression this bench guards is
+   exactly the one these make visible — a worker at 0.2 utilization or
+   a steal count rivaling the chunk count means the shards were wrong *)
+let json_of_sched (s : Engine.Pool.stats) =
+  let u = Engine.Pool.utilization s in
+  let rows =
+    List.init s.Engine.Pool.workers (fun w ->
+        Printf.sprintf
+          "{\"worker\": %d, \"jobs\": %d, \"steals\": %d, \"busy_s\": %.6f, \
+           \"utilization\": %.3f}"
+          w s.Engine.Pool.jobs.(w) s.Engine.Pool.steals.(w)
+          s.Engine.Pool.busy_s.(w) u.(w))
+  in
+  Printf.sprintf "\"chunks\": %d, \"steals_total\": %d, \"per_domain\": [%s]"
+    s.Engine.Pool.chunks
+    (Array.fold_left ( + ) 0 s.Engine.Pool.steals)
+    (String.concat ", " rows)
 
 let json_of_run ~base r =
   let t = r.timing in
   Printf.sprintf
     "    {\"domains\": %d, \"wall_seconds\": %.6f, \"nets_per_s\": %.2f, \
      \"speedup_vs_1_domain\": %.3f, \"lat_min_s\": %.6f, \"lat_mean_s\": %.6f, \
-     \"lat_max_s\": %.6f, \"ok\": %d, \"failed\": %d, \"buffers\": %d}"
+     \"lat_max_s\": %.6f, \"ok\": %d, \"failed\": %d, \"buffers\": %d, \
+     \"dp_minor_words\": %.0f, %s}"
     r.domains t.Engine.wall_s t.Engine.jobs_per_s
     (base /. t.Engine.wall_s)
     t.Engine.lat_min_s t.Engine.lat_mean_s t.Engine.lat_max_s r.ok r.failed
-    r.buffers
+    r.buffers r.minor_words
+    (json_of_sched t.Engine.sched)
 
 let () =
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
@@ -63,19 +84,28 @@ let () =
             ok = r.Engine.ok;
             failed = r.Engine.failed;
             buffers = r.Engine.buffers;
+            minor_words = r.Engine.dp.Bufins.Dp.minor_words;
           },
           Engine.signature r ))
       domain_counts
   in
   (* the determinism guarantee, enforced: identical aggregate at every
-     domain count *)
-  let _, sig1 = List.hd runs_and_sigs in
+     domain count — including the batch-summed minor words, which are
+     domain-local flushed-window deltas and therefore bit-exact *)
+  let first, sig1 = List.hd runs_and_sigs in
   List.iter
     (fun (r, s) ->
       if s <> sig1 then begin
         Printf.eprintf
           "FAIL: aggregate report at %d domains differs from the 1-domain run\n"
           r.domains;
+        exit 1
+      end;
+      if r.minor_words <> first.minor_words then begin
+        Printf.eprintf
+          "FAIL: batch-summed minor words at %d domains (%.0f) differ from the \
+           1-domain sum (%.0f)\n"
+          r.domains r.minor_words first.minor_words;
         exit 1
       end)
     runs_and_sigs;

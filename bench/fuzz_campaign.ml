@@ -14,14 +14,31 @@
 
 type run = { jobs : int; report : Check.Fuzz.report }
 
+let json_of_sched (s : Engine.Pool.stats) =
+  let u = Engine.Pool.utilization s in
+  let rows =
+    List.init s.Engine.Pool.workers (fun w ->
+        Printf.sprintf
+          "{\"worker\": %d, \"jobs\": %d, \"steals\": %d, \"busy_s\": %.6f, \
+           \"utilization\": %.3f}"
+          w s.Engine.Pool.jobs.(w) s.Engine.Pool.steals.(w)
+          s.Engine.Pool.busy_s.(w) u.(w))
+  in
+  Printf.sprintf "\"chunks\": %d, \"steals_total\": %d, \"per_domain\": [%s]"
+    s.Engine.Pool.chunks
+    (Array.fold_left ( + ) 0 s.Engine.Pool.steals)
+    (String.concat ", " rows)
+
 let json_of_run ~base r =
   let f = r.report in
   Printf.sprintf
     "    {\"jobs\": %d, \"wall_seconds\": %.6f, \"instances_per_s\": %.2f, \
-     \"speedup_vs_1_job\": %.3f, \"tested\": %d, \"passed\": %d, \"skipped\": %d}"
+     \"speedup_vs_1_job\": %.3f, \"tested\": %d, \"passed\": %d, \"skipped\": %d, \
+     %s}"
     r.jobs f.Check.Fuzz.wall_s f.Check.Fuzz.per_s
     (base /. f.Check.Fuzz.wall_s)
     f.Check.Fuzz.tested f.Check.Fuzz.passed f.Check.Fuzz.skipped
+    (json_of_sched f.Check.Fuzz.sched)
 
 let () =
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in

@@ -20,6 +20,11 @@ let make_bench ~nets ~seed ~jobs =
   let jobs = if jobs <= 0 then Engine.Pool.default_domains () else jobs in
   { nets = Workload.trees process (Workload.generate cfg); cfg; jobs }
 
+(* chunk sizing and shard balance for the batch tables key off each
+   net's sink count, like Engine.optimize *)
+let net_costs bench =
+  Array.of_list (List.map (fun (n, _) -> Steiner.Net.degree n) bench.nets)
+
 (* wall-clock seconds (Util.Clock): Sys.time is CPU seconds and
    double-counts under the batch engine's parallelism *)
 let timed f = Util.Clock.timed f
@@ -67,7 +72,7 @@ let table2 bench =
     let after = Noisesim.Verify.net process r.Bufins.Buffopt.report.Bufins.Eval.tree in
     (before, after)
   in
-  let outcomes, _ = Engine.map ~domains:bench.jobs per_net bench.nets in
+  let outcomes, _ = Engine.map ~domains:bench.jobs ~costs:(net_costs bench) per_net bench.nets in
   Array.iter
     (function
       | Engine.Done (before, after) ->
@@ -127,7 +132,7 @@ let table3 bench =
           Some (r.Bufins.Buffopt.count, m, s)
       | None -> None
     in
-    let outcomes, t = Engine.map ~domains:bench.jobs per_net bench.nets in
+    let outcomes, t = Engine.map ~domains:bench.jobs ~costs:(net_costs bench) per_net bench.nets in
     let counts, metric_bad, sim_bad =
       Array.fold_left
         (fun (counts, mbad, sbad) -> function
@@ -179,7 +184,7 @@ let table4 bench =
       Some (k, (base, bo, dly))
     end
   in
-  let outcomes, _ = Engine.map ~domains:bench.jobs per_net bench.nets in
+  let outcomes, _ = Engine.map ~domains:bench.jobs ~costs:(net_costs bench) per_net bench.nets in
   Array.iter
     (function
       | Engine.Done (Some (k, row)) -> add k row

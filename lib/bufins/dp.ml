@@ -59,7 +59,23 @@ let run ?(prune = true) ?(pruning = `Predictive) ?(widths = [ 1.0 ]) ?(area_frac
     invalid_arg "Dp.run: widths must be >= 1";
   if lib = [] then invalid_arg "Dp.run: empty buffer library";
   if T.buffer_count tree > 0 then invalid_arg "Dp.run: tree already contains buffers";
-  let gc0 = Gc.quick_stat () in
+  (* Exact, domain-local allocation accounting. Gc.minor_words and
+     Gc.counters read the calling domain's own counters (Caml_state), so
+     a run's delta never includes concurrent domains' allocation —
+     Gc.quick_stat sums every domain and, under a multi-domain batch,
+     would charge this run with the whole machine's churn. The minor
+     figure comes from Gc.minor_words specifically: on this 5.1 runtime
+     its in-progress-region term is exact (deltas are word-precise even
+     across minor collections), while Gc.counters samples the same
+     region with a unit error that is only zero right after a
+     collection (fixed upstream in 5.2). Gc.counters is still the
+     source for major words, which only accumulate at collections and
+     are documented as non-deterministic anyway. *)
+  let alloc_counters () =
+    let _, _, major = Gc.counters () in
+    (Gc.minor_words (), major)
+  in
+  let minor0, major0 = alloc_counters () in
   let arena = Trace.create () in
   (* mutation smoke (DESIGN.md §10): deliberately broken variants used
      only to prove the Check subsystem catches them *)
@@ -524,7 +540,7 @@ let run ?(prune = true) ?(pruning = `Predictive) ?(widths = [ 1.0 ]) ?(area_frac
            (a.C.q, Trace.placements arena h, Trace.sizes arena h, C.count a)))
       winners
   in
-  let gc1 = Gc.quick_stat () in
+  let minor1, major1 = alloc_counters () in
   let stats =
     {
       generated = !generated;
@@ -533,8 +549,8 @@ let run ?(prune = true) ?(pruning = `Predictive) ?(widths = [ 1.0 ]) ?(area_frac
       peak_width = !peak_width;
       type_widths;
       arena = Trace.size arena;
-      minor_words = gc1.Gc.minor_words -. gc0.Gc.minor_words;
-      major_words = gc1.Gc.major_words -. gc0.Gc.major_words;
+      minor_words = minor1 -. minor0;
+      major_words = major1 -. major0;
     }
   in
   let by_count =

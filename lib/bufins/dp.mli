@@ -83,8 +83,11 @@ type stats = {
           one per buffer insertion, branch-merge pairing and wire-sizing
           decision that was actually materialized *)
   minor_words : float;
-      (** words allocated on the minor heap during the run
-          ([Gc.quick_stat] delta, winner reconstruction included) *)
+      (** words this domain allocated on the minor heap during the run
+          ([Gc.minor_words] delta — domain-local, so concurrent domains
+          in a batch never contaminate it; winner reconstruction
+          included). Deterministic for a given instance, independent of
+          the batch engine's domain count. *)
   major_words : float;
       (** words allocated directly on or promoted to the major heap
           during the run; depends on GC timing, so it is reported but

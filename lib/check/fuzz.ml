@@ -16,6 +16,7 @@ type report = {
   wall_s : float;
   per_s : float;
   jobs : int;
+  sched : Engine.Pool.stats;
 }
 
 let instance_of_seed seed = Gen.instance (Util.Rng.create seed)
@@ -35,19 +36,33 @@ let campaign ?mutation ?(jobs = 0) ?(minutes = 0.) ?corpus_dir ?max_shrink_evals
   in
   let verdicts : (Instance.t * Diff.verdict) option array = Array.make count None in
   let t0 = Util.Clock.now () in
-  Engine.Pool.parallel_for ~domains:jobs ~n:count (fun i ->
-      let expired =
-        match deadline with Some d -> Util.Clock.now () > d | None -> false
-      in
-      if not expired then begin
-        (* Diff.run and Gen never raise, as Pool bodies must not *)
-        match instance_of_seed seeds.(i) with
-        | inst -> verdicts.(i) <- Some (inst, Diff.run ?mutation inst)
-        | exception e ->
-            let inst = Gen.instance_for Instance.Dp_invariants (Util.Rng.create 0) in
-            verdicts.(i) <-
-              Some (inst, Diff.Fail (Printf.sprintf "generator raised: %s" (Printexc.to_string e)))
-      end);
+  (* each worker buffers its verdicts locally (its own minor heap) and
+     the shared array is filled after the join, by index — no two
+     domains ever write neighbouring cells of [verdicts] concurrently *)
+  let buffers, sched =
+    Engine.Pool.run ~domains:jobs ~n:count
+      ~init:(fun _ -> ref [])
+      (fun acc i ->
+        let expired =
+          match deadline with Some d -> Util.Clock.now () > d | None -> false
+        in
+        if not expired then begin
+          (* Diff.run and Gen never raise, as Pool bodies must not *)
+          match instance_of_seed seeds.(i) with
+          | inst -> acc := (i, (inst, Diff.run ?mutation inst)) :: !acc
+          | exception e ->
+              let inst = Gen.instance_for Instance.Dp_invariants (Util.Rng.create 0) in
+              acc :=
+                ( i,
+                  ( inst,
+                    Diff.Fail
+                      (Printf.sprintf "generator raised: %s" (Printexc.to_string e)) ) )
+                :: !acc
+        end)
+  in
+  Array.iter
+    (fun acc -> List.iter (fun (i, v) -> verdicts.(i) <- Some v) !acc)
+    buffers;
   let wall_s = Util.Clock.now () -. t0 in
   let tested = ref 0 and passed = ref 0 and skipped = ref 0 in
   let failures = ref [] in
@@ -87,6 +102,7 @@ let campaign ?mutation ?(jobs = 0) ?(minutes = 0.) ?corpus_dir ?max_shrink_evals
     wall_s;
     per_s = (if wall_s > 0. then float_of_int !tested /. wall_s else 0.);
     jobs;
+    sched;
   }
 
 let replay ?mutation path =

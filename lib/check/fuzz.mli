@@ -26,6 +26,10 @@ type report = {
   wall_s : float;
   per_s : float;  (** tested / wall_s *)
   jobs : int;
+  sched : Engine.Pool.stats;
+      (** per-worker scheduling counters (jobs, steals, busy seconds)
+          from the campaign's pool run — wall-clock flavored, never part
+          of the verdict counts, which stay job-count-independent *)
 }
 
 val campaign :

@@ -11,6 +11,7 @@ type timing = {
   lat_min_s : float;
   lat_mean_s : float;
   lat_max_s : float;
+  sched : Pool.stats;
 }
 
 exception Infeasible of string
@@ -19,7 +20,7 @@ let describe = function
   | Infeasible msg -> msg
   | e -> Printexc.to_string e
 
-let map ?domains ?chunk ?(retries = 0) f xs =
+let map ?domains ?chunk ?costs ?(retries = 0) f xs =
   if retries < 0 then invalid_arg "Engine.map: retries < 0";
   let domains =
     match domains with Some d -> d | None -> Pool.default_domains ()
@@ -30,8 +31,6 @@ let map ?domains ?chunk ?(retries = 0) f xs =
   let out = Array.make n (Failed { attempts = 0; error = "never ran" }) in
   let lat = Array.make n 0.0 in
   let one i =
-    let t0 = Util.Clock.now () in
-    (* one slot per index: outcomes can never race or reorder *)
     let rec attempt k =
       match f input.(i) with
       | v -> Done v
@@ -42,11 +41,30 @@ let map ?domains ?chunk ?(retries = 0) f xs =
           if k < retries + 1 then attempt (k + 1)
           else Failed { attempts = k; error = describe e }
     in
-    out.(i) <- attempt 1;
-    lat.(i) <- Util.Clock.now () -. t0
+    attempt 1
   in
   let t0 = Util.Clock.now () in
-  Pool.parallel_for ~domains ?chunk ~n one;
+  (* Workers append (index, outcome, latency) to a buffer that lives in
+     their own minor heap — the shared [out] / [lat] arrays are written
+     only after the join, by the calling domain, so concurrent workers
+     never store into adjacent cells of one unboxed float array (false
+     sharing). The merge is by index, hence deterministic. *)
+  let buffers, sched =
+    Pool.run ~domains ?chunk ?costs ~n
+      ~init:(fun _ -> ref [])
+      (fun acc i ->
+        let j0 = Util.Clock.now () in
+        let o = one i in
+        acc := (i, o, Util.Clock.now () -. j0) :: !acc)
+  in
+  Array.iter
+    (fun acc ->
+      List.iter
+        (fun (i, o, l) ->
+          out.(i) <- o;
+          lat.(i) <- l)
+        !acc)
+    buffers;
   let wall = Util.Clock.now () -. t0 in
   let lmin = Array.fold_left Float.min infinity lat in
   let lmax = Array.fold_left Float.max neg_infinity lat in
@@ -59,6 +77,7 @@ let map ?domains ?chunk ?(retries = 0) f xs =
       lat_min_s = (if n = 0 then 0.0 else lmin);
       lat_mean_s = (if n = 0 then 0.0 else lsum /. float_of_int n);
       lat_max_s = (if n = 0 then 0.0 else lmax);
+      sched;
     } )
 
 (* ------------------------------------------------------------------ *)
@@ -91,7 +110,13 @@ let optimize ?domains ?chunk ?retries ?seg_len ?kmax ~algorithm ~lib jobs =
              (Printf.sprintf "no noise-feasible solution for net %s"
                 net.Steiner.Net.nname))
   in
-  let outcomes, timing = map ?domains ?chunk ?retries one jobs in
+  (* chunk sizing and shard balance key off estimated per-net cost; the
+     DP's work grows with the sink count, so the net's degree is the
+     cheap proxy that keeps domains finishing together *)
+  let costs =
+    Array.of_list (List.map (fun (net, _) -> Steiner.Net.degree net) jobs)
+  in
+  let outcomes, timing = map ?domains ?chunk ~costs ?retries one jobs in
   let names = Array.of_list (List.map (fun (n, _) -> n.Steiner.Net.nname) jobs) in
   let results = Array.mapi (fun i outcome -> { net = names.(i); outcome }) outcomes in
   (* merge in job order: the aggregate is independent of scheduling *)
@@ -176,17 +201,32 @@ let signature r =
     r.dp.Bufins.Dp.pruned r.dp.Bufins.Dp.pred_pruned r.dp.Bufins.Dp.peak_width;
   Buffer.contents b
 
+let sched_line (s : Pool.stats) =
+  if s.Pool.workers = 0 then "no work"
+  else
+    let u = Pool.utilization s in
+    let umin = Array.fold_left Float.min infinity u in
+    let umax = Array.fold_left Float.max 0.0 u in
+    let umean = Array.fold_left ( +. ) 0.0 u /. float_of_int s.Pool.workers in
+    Printf.sprintf "%d chunks, %d stolen, util %.2f/%.2f/%.2f min/mean/max"
+      s.Pool.chunks
+      (Array.fold_left ( + ) 0 s.Pool.steals)
+      umin umean umax
+
 let summary r =
   let t = r.timing in
   Printf.sprintf
     "batch: %d nets optimized, %d infeasible/failed | %d buffers | worst \
-     predicted slack %.1f ps | %d domains, %.3f s wall (%.1f nets/s), per-net \
-     %.2f/%.2f/%.2f ms min/mean/max | dp %d generated, %d pred-pruned, alloc \
-     %.1f/%.1f Mwords minor/major, %d trace nodes"
+     predicted slack %s | %d domains, %.3f s wall (%.1f nets/s), per-net \
+     %.2f/%.2f/%.2f ms min/mean/max | sched %s | dp %d generated, %d \
+     pred-pruned, alloc %.1f/%.1f Mwords minor/major, %d trace nodes"
     r.ok r.failed r.buffers
-    (if r.ok = 0 then nan else r.worst_slack *. 1e12)
+    (* every net failed: there is no worst slack, and printing the nan
+       that Float.min infinity produces reads like a computed value *)
+    (if r.ok = 0 then "n/a" else Printf.sprintf "%.1f ps" (r.worst_slack *. 1e12))
     t.domains t.wall_s t.jobs_per_s (t.lat_min_s *. 1e3) (t.lat_mean_s *. 1e3)
-    (t.lat_max_s *. 1e3) r.dp.Bufins.Dp.generated r.dp.Bufins.Dp.pred_pruned
+    (t.lat_max_s *. 1e3) (sched_line t.sched) r.dp.Bufins.Dp.generated
+    r.dp.Bufins.Dp.pred_pruned
     (r.dp.Bufins.Dp.minor_words /. 1e6)
     (r.dp.Bufins.Dp.major_words /. 1e6)
     r.dp.Bufins.Dp.arena

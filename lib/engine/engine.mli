@@ -38,23 +38,32 @@ type timing = {
   lat_min_s : float;  (** fastest single job, wall seconds *)
   lat_mean_s : float;
   lat_max_s : float;
+  sched : Pool.stats;
+      (** per-worker scheduling counters — jobs, chunk steals, busy
+          seconds — for utilization reporting; like the rest of
+          [timing], never part of {!signature} *)
 }
 
 val map :
   ?domains:int ->
   ?chunk:int ->
+  ?costs:int array ->
   ?retries:int ->
   ('a -> 'b) ->
   'a list ->
   'b outcome array * timing
 (** The generic engine: apply [f] to every element on a domain pool and
     return per-element outcomes in input order. [domains] defaults to
-    {!Pool.default_domains}; [chunk] is the work-queue chunk size (see
-    {!Pool.parallel_for}); [retries] (default 0) is how many times a
-    job that raised is re-run before it is recorded as [Failed].
-    [f] must be safe to run concurrently with itself on distinct
-    elements (pure functions and functions over immutable inputs
-    qualify; everything in [Bufins] / [Noisesim] does). *)
+    {!Pool.default_domains}; [chunk] / [costs] control chunk sizing and
+    shard balance (see {!Pool.run} — [costs.(i)] is job [i]'s estimated
+    cost); [retries] (default 0) is how many times a job that raised is
+    re-run before it is recorded as [Failed]. [f] must be safe to run
+    concurrently with itself on distinct elements (pure functions and
+    functions over immutable inputs qualify; everything in [Bufins] /
+    [Noisesim] does). Workers accumulate outcomes and latencies in
+    per-worker buffers that are merged by index after the join, so the
+    result is independent of scheduling and no two domains ever write
+    adjacent cells of a shared array while running. *)
 
 exception Infeasible of string
 (** Raised by a job to record a deterministic per-job failure — e.g. no
@@ -92,7 +101,9 @@ val optimize :
 (** Run {!Bufins.Buffopt.optimize} on every job. A net with no
     noise-feasible solution is a [Failed] outcome whose error names the
     verdict; see {!failed_nets}. [seg_len] / [kmax] are passed through
-    to the per-net optimizer. *)
+    to the per-net optimizer. Chunks are sized and sharded by each
+    net's sink count (the DP's dominant cost driver) so domains finish
+    together; see {!Pool.run}. *)
 
 val failed_nets : report -> string list
 (** Names of the nets whose outcome is [Failed], in job order. *)
@@ -106,4 +117,6 @@ val signature : report -> string
 
 val summary : report -> string
 (** One human-readable paragraph: net/buffer totals, failures, wall
-    time, throughput, and per-net latency spread. *)
+    time, throughput, per-net latency spread, and worker utilization /
+    steal counts. When every net failed the worst slack prints as
+    [n/a], never [nan]. *)
