@@ -1,0 +1,258 @@
+(* Serve-daemon bench: drives a live daemon through a scripted request
+   mix and measures the incremental-DP speedup on the headline net,
+   emitting BENCH_serve.json.
+
+     dune exec bench/serve_scaling.exe             # full run: 2,400-request mix, 800 sinks
+     dune exec bench/serve_scaling.exe -- --smoke  # CI smoke: 300 requests, 200 sinks
+
+   Two sections:
+
+   - "mix": a real daemon on a Unix socket, one client, a deterministic
+     2,400-request mix of optimize / update-rat / update-wire /
+     update-noise / stats. Reported: client-observed requests/s plus the
+     daemon's own served-class accounting (cache hit rate, p50/p99
+     optimize latency).
+
+   - "incremental": the 800-sink headline DP (Per_count kmax=16, delay
+     mode, the BuffOpt hot path of BENCH_dp.json) re-run after
+     single-sink RAT edits through a resident Dp.Memo versus from
+     scratch. The outcomes are asserted identical; the full run demands
+     the >= 5x speedup the serve design is predicated on. Times are
+     Util.Clock wall-clock seconds, minimum over iterations. *)
+
+let process = Tech.Process.default
+
+let lib = Tech.Lib.default_library
+
+module T = Rctree.Tree
+module Dp = Bufins.Dp
+
+(* the scale-tree shape shared with bench/dp_scaling.ml *)
+let big_tree sinks =
+  let rng = Util.Rng.create 99 in
+  let b = Rctree.Builder.create () in
+  let so = Rctree.Builder.add_source b ~r_drv:100.0 ~d_drv:30e-12 in
+  let attach = ref [ so ] in
+  for k = 0 to sinks - 1 do
+    let parent = List.nth !attach (Util.Rng.int rng (List.length !attach)) in
+    let v =
+      Rctree.Builder.add_internal b ~parent
+        ~wire:(T.wire_of_length process (Util.Rng.range rng 0.2e-3 1.5e-3))
+        ()
+    in
+    attach := v :: !attach;
+    ignore
+      (Rctree.Builder.add_sink b ~parent:v
+         ~wire:(T.wire_of_length process (Util.Rng.range rng 0.2e-3 1e-3))
+         ~name:(Printf.sprintf "s%d" k) ~c_sink:15e-15 ~rat:4e-9 ~nm:0.8)
+  done;
+  Rctree.Builder.finish b
+
+(* {1 Incremental vs scratch on the headline net} *)
+
+type incr_result = {
+  sinks : int;
+  t_full_s : float;
+  t_incr_s : float;
+  speedup : float;
+  identical : bool;
+  memo_hits : int;
+  memo_misses : int;
+}
+
+let eq_best (a : Dp.outcome) (b : Dp.outcome) =
+  match (a.Dp.best, b.Dp.best) with
+  | None, None -> true
+  | Some a, Some b ->
+      a.Dp.slack = b.Dp.slack && a.Dp.count = b.Dp.count
+      && a.Dp.placements = b.Dp.placements
+      && a.Dp.sizes = b.Dp.sizes
+  | _ -> false
+
+let bench_incremental ~iters ~sinks () =
+  let seg = Rctree.Segment.refine (big_tree sinks) ~max_len:500e-6 in
+  let mode = Dp.Per_count 16 in
+  let memo = Dp.Memo.create () in
+  (* cold fill: the daemon's load warm pass *)
+  ignore (Dp.run ~memo ~noise:false ~mode ~lib seg);
+  let sink_ids = Array.of_list (T.sinks seg) in
+  let tree = ref seg in
+  let edit i =
+    let s = sink_ids.(i * 37 mod Array.length sink_ids) in
+    let rat =
+      match T.kind !tree s with
+      | T.Sink sk -> sk.T.rat
+      | T.Source _ | T.Internal | T.Buffered _ -> assert false
+    in
+    tree := T.with_sink_rat !tree s ~rat:(rat *. 0.999);
+    Dp.Memo.dirty memo !tree s
+  in
+  let t_incr = ref infinity and last = ref None in
+  for i = 1 to iters do
+    edit i;
+    let o, dt = Util.Clock.timed (fun () -> Dp.run ~memo ~noise:false ~mode ~lib !tree) in
+    if dt < !t_incr then t_incr := dt;
+    last := Some o
+  done;
+  let t_full = ref infinity and scratch = ref None in
+  for _ = 1 to iters do
+    let o, dt = Util.Clock.timed (fun () -> Dp.run ~noise:false ~mode ~lib !tree) in
+    if dt < !t_full then t_full := dt;
+    scratch := Some o
+  done;
+  let identical = eq_best (Option.get !last) (Option.get !scratch) in
+  {
+    sinks;
+    t_full_s = !t_full;
+    t_incr_s = !t_incr;
+    speedup = !t_full /. !t_incr;
+    identical;
+    memo_hits = Dp.Memo.hits memo;
+    memo_misses = Dp.Memo.misses memo;
+  }
+
+(* {1 The scripted request mix against a live daemon} *)
+
+type mix_result = {
+  requests : int;
+  nets : int;
+  wall_s : float;
+  requests_per_s : float;
+  err_replies : int;
+  stats_line : string;  (** the daemon's final stats reply *)
+}
+
+(* pull a [key=value] float out of the daemon's stats line *)
+let stat_field line key =
+  let prefix = key ^ "=" in
+  let toks = String.split_on_char ' ' line in
+  match
+    List.find_opt
+      (fun t ->
+        String.length t > String.length prefix
+        && String.sub t 0 (String.length prefix) = prefix)
+      toks
+  with
+  | Some t ->
+      float_of_string
+        (String.sub t (String.length prefix) (String.length t - String.length prefix))
+  | None -> nan
+
+let bench_mix ~requests ~nets ~seed () =
+  let path = Filename.temp_file "buffopt-serve-bench" ".sock" in
+  Sys.remove path;
+  let ep = Serve.Unix_path path in
+  let server = Domain.spawn (fun () -> Serve.serve ep) in
+  let deadline = Util.Clock.now () +. 30.0 in
+  let rec wait () =
+    match Serve.Client.connect ep with
+    | c -> c
+    | exception Unix.Unix_error _ ->
+        if Util.Clock.now () > deadline then failwith "daemon never came up";
+        Unix.sleepf 0.02;
+        wait ()
+  in
+  let c = wait () in
+  let req line =
+    match Serve.Client.request c line with
+    | Some reply -> reply
+    | None -> failwith ("daemon closed the connection on: " ^ line)
+  in
+  let loaded = req (Printf.sprintf "load workload %d %d" nets seed) in
+  Printf.printf "daemon: %s\n%!" loaded;
+  (* the scripted mix: optimize-dominated with a steady trickle of RAT,
+     wire and noise-environment edits — the interactive ECO pattern the
+     cache and memo design targets *)
+  let rng = Util.Rng.create 0x5e12e in
+  let lines =
+    List.init requests (fun i ->
+        let net = Util.Rng.int rng nets in
+        match Util.Rng.int rng 100 with
+        | r when r < 55 -> Printf.sprintf "optimize %d" net
+        | r when r < 72 -> Printf.sprintf "update-rat %d 0 %.1f" net (Util.Rng.range rng 200.0 4000.0)
+        | r when r < 82 -> Printf.sprintf "update-wire %d 1 %.4f" net (Util.Rng.range rng 0.9 1.15)
+        | r when r < 87 -> Printf.sprintf "update-noise %d %.4f" net (Util.Rng.range rng 0.8 1.25)
+        | r when r < 97 -> Printf.sprintf "optimize %d" net
+        | _ when i mod 2 = 0 -> "stats"
+        | _ -> Printf.sprintf "optimize %d" net)
+  in
+  let err_replies = ref 0 in
+  let (), wall_s =
+    Util.Clock.timed (fun () ->
+        List.iter
+          (fun line ->
+            let reply = req line in
+            if String.length reply < 2 || String.sub reply 0 2 <> "ok" then
+              incr err_replies)
+          lines)
+  in
+  let stats_line = req "stats" in
+  ignore (req "shutdown");
+  Serve.Client.close c;
+  Domain.join server;
+  {
+    requests;
+    nets;
+    wall_s;
+    requests_per_s = float_of_int requests /. wall_s;
+    err_replies = !err_replies;
+    stats_line;
+  }
+
+let () =
+  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  let out_path =
+    let rec find i =
+      if i >= Array.length Sys.argv - 1 then "BENCH_serve.json"
+      else if Sys.argv.(i) = "-o" then Sys.argv.(i + 1)
+      else find (i + 1)
+    in
+    find 1
+  in
+  let requests = if smoke then 300 else 2400 in
+  let nets = if smoke then 12 else 40 in
+  let sinks = if smoke then 200 else 800 in
+  let iters = if smoke then 2 else 4 in
+  let mix = bench_mix ~requests ~nets ~seed:42 () in
+  Printf.printf "mix: %d requests in %.2f s (%.0f/s, %d err replies)\n%!"
+    mix.requests mix.wall_s mix.requests_per_s mix.err_replies;
+  Printf.printf "daemon: %s\n%!" mix.stats_line;
+  let inc = bench_incremental ~iters ~sinks () in
+  Printf.printf
+    "incremental (%d sinks): full %.4f s, incr %.4f s -> %.1fx, identical=%b\n%!"
+    inc.sinks inc.t_full_s inc.t_incr_s inc.speedup inc.identical;
+  if not inc.identical then begin
+    Printf.eprintf "FAIL: incremental re-optimization diverged from scratch\n";
+    exit 1
+  end;
+  (* the design-predicating bound, enforced on the full-size headline
+     net; the smoke tree is small enough that scheduling noise could
+     make this flaky, so smoke only reports *)
+  if (not smoke) && inc.speedup < 5.0 then begin
+    Printf.eprintf "FAIL: incremental speedup %.2fx is below the required 5x\n"
+      inc.speedup;
+    exit 1
+  end;
+  let hit_rate = stat_field mix.stats_line "hit_rate" in
+  let p50 = stat_field mix.stats_line "p50_ms" in
+  let p99 = stat_field mix.stats_line "p99_ms" in
+  let field k = int_of_float (stat_field mix.stats_line k) in
+  let oc = open_out out_path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"smoke\": %b,\n\
+    \  \"units\": \"wall-clock seconds (Util.Clock); latencies ms\",\n\
+    \  \"mix\": {\"requests\": %d, \"nets\": %d, \"seed\": 42, \"wall_seconds\": \
+     %.6f, \"requests_per_s\": %.2f, \"err_replies\": %d, \"optimizes\": %d, \
+     \"cache_hits\": %d, \"served_incr\": %d, \"served_full\": %d, \
+     \"cache_hit_rate\": %.3f, \"p50_ms\": %.3f, \"p99_ms\": %.3f},\n\
+    \  \"incremental\": {\"sinks\": %d, \"mode\": \"per_count_k16_delay\", \
+     \"t_full_s\": %.6f, \"t_incr_s\": %.6f, \"speedup\": %.2f, \"identical\": \
+     %b, \"memo_hits\": %d, \"memo_misses\": %d}\n\
+     }\n"
+    smoke mix.requests mix.nets mix.wall_s mix.requests_per_s mix.err_replies
+    (field "optimizes") (field "cache_hits") (field "incr") (field "full")
+    hit_rate p50 p99 inc.sinks inc.t_full_s inc.t_incr_s inc.speedup
+    inc.identical inc.memo_hits inc.memo_misses;
+  close_out oc;
+  Printf.printf "wrote %s\n" out_path

@@ -162,14 +162,78 @@ let sample_cmd () =
   print_string Steiner.Netfile.sample;
   0
 
+let endpoint_of socket port =
+  match (socket, port) with
+  | Some path, None -> Ok (Serve.Unix_path path)
+  | None, Some p -> Ok (Serve.Tcp_port p)
+  | None, None -> Error "one of --socket or --port is required"
+  | Some _, Some _ -> Error "--socket and --port are mutually exclusive"
+
+let serve_cmd socket port algo seg_um kmax jobs verbose =
+  match endpoint_of socket port with
+  | Error m ->
+      prerr_endline m;
+      1
+  | Ok endpoint -> (
+      match algo_of_string algo with
+      | Error (`Msg m) ->
+          prerr_endline m;
+          1
+      | Ok algorithm ->
+          let options =
+            {
+              Serve.Session.default_options with
+              Serve.Session.algorithm;
+              seg_len = seg_um *. 1e-6;
+              kmax;
+            }
+          in
+          let domains = if jobs <= 0 then None else Some jobs in
+          let log = if verbose then prerr_endline else ignore in
+          Serve.serve ~options ?domains ~log endpoint;
+          0)
+
+let client_cmd socket port script =
+  match endpoint_of socket port with
+  | Error m ->
+      prerr_endline m;
+      1
+  | Ok endpoint ->
+      let read_lines ic =
+        let rec go acc =
+          match input_line ic with
+          | line -> go (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        go []
+      in
+      let requests =
+        (match script with
+        | "-" -> read_lines stdin
+        | path ->
+            let ic = open_in path in
+            Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_lines ic))
+        |> List.filter (fun l -> String.trim l <> "" && l.[0] <> '#')
+      in
+      let replies = Serve.Client.script endpoint requests in
+      let bad = ref 0 in
+      List.iter2
+        (fun req reply ->
+          Printf.printf "> %s\n< %s\n" req reply;
+          if not (String.length reply >= 2 && String.sub reply 0 2 = "ok") then incr bad)
+        requests replies;
+      if !bad > 0 then 1 else 0
+
 let mutation_of_string = function
   | "" -> Ok None
   | "cq-noise-prune" -> Ok (Some Bufins.Dp.Cq_noise_prune)
   | "no-attach-guard" -> Ok (Some Bufins.Dp.No_attach_guard)
   | "loose-pred-bound" -> Ok (Some Bufins.Dp.Loose_pred_bound)
+  | "stale-memo" -> Ok (Some Bufins.Dp.Stale_memo)
   | s ->
       Error
-        ("bad mutation (want cq-noise-prune, no-attach-guard or loose-pred-bound): " ^ s)
+        ("bad mutation (want cq-noise-prune, no-attach-guard, loose-pred-bound or \
+          stale-memo): " ^ s)
 
 let fuzz_cmd seed count jobs minutes corpus mutate replay_path =
   match mutation_of_string mutate with
@@ -313,7 +377,8 @@ let () =
         & info [ "mutate" ] ~docv:"NAME"
             ~doc:
               "Run against a deliberately broken DP engine (cq-noise-prune, \
-               no-attach-guard or loose-pred-bound); the campaign is expected to fail.")
+               no-attach-guard, loose-pred-bound or stale-memo); the campaign is \
+               expected to fail.")
     in
     let replay =
       Arg.(
@@ -343,8 +408,50 @@ let () =
       (Cmd.info "gen-design" ~doc:"Emit a random design file for the flow.")
       Term.(const gen_design_cmd $ gates $ seed $ out)
   in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+  in
+  let port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT" ~doc:"TCP port on loopback.")
+  in
+  let serve =
+    let verbose =
+      Arg.(value & flag & info [ "verbose" ] ~doc:"Log connections to stderr.")
+    in
+    Cmd.v
+      (Cmd.info "serve"
+         ~doc:
+           "Run the persistent optimization daemon: designs stay resident, repeated \
+            optimize requests are answered from the result cache or incrementally \
+            (only the edited path of the tree is recomputed), and worker domains \
+            stay warm between requests. Stop it with the shutdown request.")
+      Term.(
+        const serve_cmd $ socket_arg $ port_arg $ algo_arg $ seg_arg $ kmax_arg
+        $ jobs_arg $ verbose)
+  in
+  let client =
+    let script =
+      Arg.(
+        value
+        & pos 0 string "-"
+        & info [] ~docv:"SCRIPT"
+            ~doc:"Request file, one request per line ('-' = stdin; '#' comments).")
+    in
+    Cmd.v
+      (Cmd.info "client"
+         ~doc:
+           "Send a request script to a running daemon and print each reply; exits \
+            nonzero when any reply is an error.")
+      Term.(const client_cmd $ socket_arg $ port_arg $ script)
+  in
   exit
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "buffopt" ~doc:"Buffer insertion for noise and delay optimization.")
-          [ run; report; sample; dot; batch; flow; fuzz; gen_design ]))
+          [ run; report; sample; dot; batch; flow; fuzz; gen_design; serve; client ]))

@@ -1,4 +1,5 @@
-let run ?pruning ~lib tree = (Dp.run ?pruning ~noise:true ~mode:Dp.Single ~lib tree).Dp.best
+let run ?pruning ?memo ~lib tree =
+  (Dp.run ?pruning ?memo ~noise:true ~mode:Dp.Single ~lib tree).Dp.best
 
-let by_count ?pruning ~kmax ~lib tree =
-  Dp.run ?pruning ~noise:true ~mode:(Dp.Per_count kmax) ~lib tree
+let by_count ?pruning ?memo ~kmax ~lib tree =
+  Dp.run ?pruning ?memo ~noise:true ~mode:(Dp.Per_count kmax) ~lib tree

@@ -17,6 +17,7 @@
 
 val run :
   ?pruning:[ `Predictive | `Sweep_only ] ->
+  ?memo:Dp.Memo.t ->
   lib:Tech.Buffer.t list ->
   Rctree.Tree.t ->
   Dp.result option
@@ -28,6 +29,7 @@ val run :
 
 val by_count :
   ?pruning:[ `Predictive | `Sweep_only ] ->
+  ?memo:Dp.Memo.t ->
   kmax:int ->
   lib:Tech.Buffer.t list ->
   Rctree.Tree.t ->

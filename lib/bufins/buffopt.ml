@@ -1,7 +1,7 @@
 type t = { result : Dp.result; timing_met : bool }
 
-let problem3 ?pruning ~kmax ~lib tree =
-  let outcome = Alg3.by_count ?pruning ~kmax ~lib tree in
+let problem3 ?pruning ?memo ~kmax ~lib tree =
+  let outcome = Alg3.by_count ?pruning ?memo ~kmax ~lib tree in
   let candidates =
     Array.to_list outcome.Dp.by_count |> List.filter_map (fun r -> r)
   in
@@ -48,23 +48,23 @@ type run = {
   stats : Dp.stats;
 }
 
+let solve_segmented ?kmax:(km = 16) ?pruning ?memo algorithm ~lib seg =
+  match algorithm with
+  | Buffopt -> (
+      match problem3 ?pruning ?memo ~kmax:km ~lib seg with
+      | Some p -> Some p.result
+      | None ->
+          (* the net may simply need more than kmax buffers: fall back
+             to the unbounded Problem 2 search before giving up *)
+          Alg3.run ?pruning ?memo ~lib seg)
+  | Delayopt k -> Some (Vangin.run_max ?pruning ?memo ~max_buffers:k ~lib seg)
+  | Alg3_max_slack -> Alg3.run ?pruning ?memo ~lib seg
+  | Vangin_max_slack -> Some (Vangin.run ?pruning ?memo ~lib seg)
+
 let optimize ?(seg_len = 500e-6) ?(kmax = 16) ?(retries = 2) ?pruning algorithm ~lib tree =
   let rec attempt seg_len retries =
     let seg = Rctree.Segment.refine tree ~max_len:seg_len in
-    let solve () =
-      match algorithm with
-      | Buffopt -> (
-          match problem3 ?pruning ~kmax ~lib seg with
-          | Some p -> Some p.result
-          | None ->
-              (* the net may simply need more than kmax buffers: fall back
-                 to the unbounded Problem 2 search before giving up *)
-              Alg3.run ?pruning ~lib seg)
-      | Delayopt k -> Some (Vangin.run_max ?pruning ~max_buffers:k ~lib seg)
-      | Alg3_max_slack -> Alg3.run ?pruning ~lib seg
-      | Vangin_max_slack -> Some (Vangin.run ?pruning ~lib seg)
-    in
-    match solve () with
+    match solve_segmented ~kmax ?pruning algorithm ~lib seg with
     | Some (r : Dp.result) ->
         Some
           {
@@ -79,22 +79,26 @@ let optimize ?(seg_len = 500e-6) ?(kmax = 16) ?(retries = 2) ?pruning algorithm 
   in
   attempt seg_len retries
 
+let optimize_prepared ?kmax ?pruning ?memo algorithm ~lib seg =
+  match solve_segmented ?kmax ?pruning ?memo algorithm ~lib seg with
+  | Some (r : Dp.result) ->
+      Some
+        {
+          report = Eval.apply seg r.Dp.placements;
+          placements = r.Dp.placements;
+          count = r.Dp.count;
+          predicted_slack = r.Dp.slack;
+          segmented = seg;
+          stats = r.Dp.stats;
+        }
+  | None -> None
+
 let optimize_coupled ?(seg_len = 500e-6) ?(kmax = 16) ?(retries = 2) ?pruning algorithm ~lib ann
     =
   let rec attempt seg_len retries =
     let seg_ann = Coupling.refine ann ~max_len:seg_len in
     let seg = Coupling.tree seg_ann in
-    let solve () =
-      match algorithm with
-      | Buffopt -> (
-          match problem3 ?pruning ~kmax ~lib seg with
-          | Some p -> Some p.result
-          | None -> Alg3.run ?pruning ~lib seg)
-      | Delayopt k -> Some (Vangin.run_max ?pruning ~max_buffers:k ~lib seg)
-      | Alg3_max_slack -> Alg3.run ?pruning ~lib seg
-      | Vangin_max_slack -> Some (Vangin.run ?pruning ~lib seg)
-    in
-    match solve () with
+    match solve_segmented ~kmax ?pruning algorithm ~lib seg with
     | Some (r : Dp.result) ->
         let buffered = Coupling.buffered seg_ann r.Dp.placements in
         Some

@@ -20,6 +20,7 @@ type t = {
 
 val problem3 :
   ?pruning:[ `Predictive | `Sweep_only ] ->
+  ?memo:Dp.Memo.t ->
   kmax:int ->
   lib:Tech.Buffer.t list ->
   Rctree.Tree.t ->
@@ -59,6 +60,23 @@ val optimize :
     [pruning] selects the candidate engine (see {!Dp.run}; outcomes are
     byte-identical either way). [None] only for noise-aware algorithms
     that stay infeasible after all retries. *)
+
+val optimize_prepared :
+  ?kmax:int ->
+  ?pruning:[ `Predictive | `Sweep_only ] ->
+  ?memo:Dp.Memo.t ->
+  algorithm ->
+  lib:Tech.Buffer.t list ->
+  Rctree.Tree.t ->
+  run option
+(** The serve daemon's entry point: run on an {e already segmented} tree
+    — no segmenting pass, no retry loop — optionally through a resident
+    incremental {!Dp.Memo}. [segmented] in the returned run is the input
+    tree itself. The caller owns segmenting (once, at load time) and the
+    memo's dirty-marking contract; see {!Dp.Memo}. [None] when the
+    noise-aware algorithms are infeasible at this segmenting. Equal
+    inputs produce results byte-identical to {!optimize} at the same
+    granularity with the retry loop disabled. *)
 
 val optimize_coupled :
   ?seg_len:float ->

@@ -4,7 +4,7 @@ module F = Frontier
 
 type mode = Single | Per_count of int
 
-type mutation = Cq_noise_prune | No_attach_guard | Loose_pred_bound
+type mutation = Cq_noise_prune | No_attach_guard | Loose_pred_bound | Stale_memo
 
 type stats = {
   generated : int;
@@ -48,13 +48,115 @@ type outcome = { best : result option; by_count : result option array; stats : s
 
 let ns_eps = 1e-12
 
+(* {1 Incremental memo}
+
+   Cross-run cache of the per-edge [above] tables for the serve daemon's
+   incremental re-optimization (DESIGN.md §14). The entry at node [c] is
+   the candidate table just above [c]'s parent wire — the complete DP
+   summary of [c]'s subtree. The DP is deterministic, so as long as
+   nothing in [c]'s subtree changed, the cached table is byte-for-byte
+   what a scratch recompute would rebuild; [run ?memo] then recomputes
+   only the edited path (the caller marks it with [dirty]) and splices
+   cached sibling tables straight into the merges.
+
+   Validity is a three-part contract:
+
+   - {b Dirty marking.} After any edit at node [v] (sink RAT, parent
+     wire values) the caller calls [dirty memo tree v], which forgets
+     [v] and every ancestor — exactly the tables whose subtrees contain
+     [v].
+   - {b Bound stamps.} Predictive pruning folds each site's upstream
+     resistance bound into the kept lists. A wire edit shifts the bounds
+     of {e every} node below it — including clean sibling subtrees the
+     dirty path doesn't touch — so each entry records the climb bound it
+     was built under and is reused only when the current bound matches.
+     (Interior bounds of the subtree equal the climb bound plus in-tree
+     wire resistances, so with the subtree clean the one stamp covers
+     them all.)
+   - {b Config stamp.} Everything else an entry bakes in — mode, noise,
+     pruning engine, widths, library, tree topology — is fingerprinted;
+     a mismatched fingerprint drops the whole cache rather than risk
+     mixing configurations.
+
+   Candidates carry Trace handles, which are only meaningful against
+   the arena that issued them, so the memo owns a resident arena that
+   [run ?memo] appends to instead of creating its own; the arena is
+   append-only, hence old handles survive later runs. [clear] swaps in a
+   fresh arena (nothing references the old one once the entries are
+   gone), which is the only way the arena ever shrinks. *)
+
+module Memo = struct
+  type entry = {
+    kept : C.t list array;  (** the above-table, pre-insertion *)
+    full : C.t list array option;
+        (** full climbed population at a witness-scan site — what
+            [insert_buffers] must scan (see [apply_wire]) *)
+    bound : float;  (** climb bound the entry was built under *)
+  }
+
+  type t = {
+    mutable entries : entry option array;  (* indexed by node id *)
+    mutable stamp : string;  (* config fingerprint; "" = never stamped *)
+    mutable arena : Trace.arena;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let create () =
+    { entries = [||]; stamp = ""; arena = Trace.create (); hits = 0; misses = 0 }
+
+  let clear t =
+    t.entries <- [||];
+    t.stamp <- "";
+    t.arena <- Trace.create ()
+
+  let dirty t tree v =
+    if Array.length t.entries > 0 then
+      List.iter
+        (fun u -> if u < Array.length t.entries then t.entries.(u) <- None)
+        (T.path_up tree v)
+
+  (* the Stale_memo mutation: forget only the edited node, leaving the
+     ancestors' stale tables in place for the incremental-vs-scratch
+     oracle to trip over *)
+  let dirty_node t v = if v < Array.length t.entries then t.entries.(v) <- None
+
+  let stored t =
+    Array.fold_left (fun a e -> if e = None then a else a + 1) 0 t.entries
+
+  let hits t = t.hits
+
+  let misses t = t.misses
+
+  (* RATs and wire values are deliberately absent: edits to them are the
+     caller's dirty-marking duty (plus the per-entry bound stamp), and
+     hashing them here would turn every edit into a full cache drop. *)
+  let stamp ~prune ~pruning ~widths ~area_frac ~mutation ~noise ~mode ~lib tree
+      =
+    let topo = ref 0 in
+    for v = 0 to T.node_count tree - 1 do
+      let tag =
+        match T.kind tree v with
+        | T.Source _ -> 0
+        | T.Sink _ -> 1
+        | T.Internal -> 2
+        | T.Buffered _ -> 3
+      in
+      topo := Hashtbl.hash (!topo, T.parent tree v, tag, T.feasible tree v)
+    done;
+    Marshal.to_string
+      (prune, pruning, widths, area_frac, mutation, noise, mode, lib,
+       T.node_count tree, !topo)
+      []
+end
+
 (* the Loose_pred_bound mutation inflates the upstream-resistance bound
    by this factor: the slope rule then over-prunes and the predictive
    engine's outcomes drift from the sweep-only reference *)
 let loose_bound_factor = 1.25
 
 let run ?(prune = true) ?(pruning = `Predictive) ?(widths = [ 1.0 ]) ?(area_frac = 0.4)
-    ?mutation ~noise ~mode ~lib tree =
+    ?mutation ?memo ~noise ~mode ~lib tree =
   if widths = [] || List.exists (fun w -> w < 1.0) widths then
     invalid_arg "Dp.run: widths must be >= 1";
   if lib = [] then invalid_arg "Dp.run: empty buffer library";
@@ -76,7 +178,26 @@ let run ?(prune = true) ?(pruning = `Predictive) ?(widths = [ 1.0 ]) ?(area_frac
     (Gc.minor_words (), major)
   in
   let minor0, major0 = alloc_counters () in
-  let arena = Trace.create () in
+  (* with a memo, candidates go into its resident arena so cached trace
+     handles from earlier runs stay reconstructible; a mismatched config
+     stamp drops the cache before any entry could be misread *)
+  let arena =
+    match memo with
+    | None -> Trace.create ()
+    | Some (m : Memo.t) ->
+        let stamp =
+          Memo.stamp ~prune ~pruning ~widths ~area_frac ~mutation ~noise ~mode
+            ~lib tree
+        in
+        if m.Memo.stamp <> stamp then begin
+          Memo.clear m;
+          m.Memo.stamp <- stamp
+        end;
+        if Array.length m.Memo.entries <> T.node_count tree then
+          m.Memo.entries <- Array.make (T.node_count tree) None;
+        m.Memo.arena
+  in
+  let arena0 = Trace.size arena in
   (* mutation smoke (DESIGN.md §10): deliberately broken variants used
      only to prove the Check subsystem catches them *)
   let cq_prune = mutation = Some Cq_noise_prune in
@@ -461,6 +582,43 @@ let run ?(prune = true) ?(pruning = `Predictive) ?(widths = [ 1.0 ]) ?(area_frac
     tbl
   in
   let site_bound v = if pred then bounds.(v) else 0.0 in
+  (* Memo plumbing for [above]. A hit restores the cached table (copied:
+     [insert_buffers] mutates its input table in place) and, at a
+     witness-scan site, reinstates the full climbed population for the
+     insertion scans — with the per-(slot, type) scan results left NaN
+     so [insert_buffers] rescans the full lists, which is exactly the
+     scan [fill_witnesses] ran when the entry was built. A store copies
+     the outer array for the same aliasing reason; the candidate lists
+     themselves are immutable. *)
+  let memo_get c ~bound =
+    match memo with
+    | None -> None
+    | Some (m : Memo.t) -> (
+        match m.Memo.entries.(c) with
+        | Some e when e.Memo.bound = bound ->
+            m.Memo.hits <- m.Memo.hits + 1;
+            (match e.Memo.full with
+            | Some full ->
+                Array.blit full 0 scan_src 0 nslots;
+                Array.fill ins_s 0 (nslots * ntypes) Float.nan;
+                scan_valid := true
+            | None -> scan_valid := false);
+            Some (Array.copy e.Memo.kept)
+        | Some _ | None -> None)
+  in
+  let memo_set c ~bound ~dest_scan tbl =
+    match memo with
+    | None -> ()
+    | Some (m : Memo.t) ->
+        m.Memo.misses <- m.Memo.misses + 1;
+        m.Memo.entries.(c) <-
+          Some
+            {
+              Memo.kept = Array.copy tbl;
+              full = (if dest_scan then Some (Array.copy scan_src) else None);
+              bound;
+            }
+  in
   let rec at v =
     match T.kind tree v with
     | T.Sink s ->
@@ -482,21 +640,26 @@ let run ?(prune = true) ?(pruning = `Predictive) ?(widths = [ 1.0 ]) ?(area_frac
         base
   and above c =
     let dest = T.parent tree c in
-    let dest_scan =
-      pred && single_width
-      &&
-      match T.kind tree dest with
-      | T.Internal -> (
-          match T.children tree dest with
-          | [ _ ] -> T.feasible tree dest
-          | _ -> false)
-      | _ -> false
-    in
-    let tbl =
-      apply_wire ~at:c ~bound:(site_bound dest) ~scan:dest_scan (T.wire_to tree c) (at c)
-    in
-    note_width tbl;
-    tbl
+    let bound = site_bound dest in
+    match memo_get c ~bound with
+    | Some tbl -> tbl
+    | None ->
+        let dest_scan =
+          pred && single_width
+          &&
+          match T.kind tree dest with
+          | T.Internal -> (
+              match T.children tree dest with
+              | [ _ ] -> T.feasible tree dest
+              | _ -> false)
+          | _ -> false
+        in
+        let tbl =
+          apply_wire ~at:c ~bound ~scan:dest_scan (T.wire_to tree c) (at c)
+        in
+        note_width tbl;
+        memo_set c ~bound ~dest_scan tbl;
+        tbl
   in
   let root = T.root tree in
   let d =
@@ -548,7 +711,9 @@ let run ?(prune = true) ?(pruning = `Predictive) ?(widths = [ 1.0 ]) ?(area_frac
       pred_pruned = !pred_pruned;
       peak_width = !peak_width;
       type_widths;
-      arena = Trace.size arena;
+      (* per-run delta: under a memo the arena is resident and carries
+         every previous run's traces *)
+      arena = Trace.size arena - arena0;
       minor_words = minor1 -. minor0;
       major_words = major1 -. major0;
     }

@@ -50,10 +50,59 @@ type mutation =
           that could still win, so predictive outcomes drift from the
           [`Sweep_only] reference — the bug class the pred-vs-sweep
           oracle exists to catch *)
+  | Stale_memo
+      (** incremental edits invalidate only the edited node, not its
+          ancestors ({!Memo.dirty_node} instead of {!Memo.dirty}), so
+          stale ancestor tables survive into the next run — the bug
+          class the incremental-vs-scratch oracle exists to catch. No
+          effect on {!run} itself; applied by the oracle's replay
+          harness. *)
 (** Deliberately broken engine variants for verifying the verifier:
     [Check.Diff] and [buffopt fuzz --mutate] run campaigns against a
     mutated engine and must catch it (the mutation smoke of DESIGN.md
     §10). Never used by the production drivers. *)
+
+(** Cross-run memo for incremental re-optimization (the serve daemon's
+    core; DESIGN.md §14). Holds the per-edge DP tables ([above c] — the
+    complete candidate summary of [c]'s subtree) plus a resident
+    solution-trace arena. [run ?memo] reuses every cached table whose
+    subtree is untouched and whose predictive climb bound is unchanged,
+    so after a single-sink edit only the path from the edit to the root
+    is recomputed, with cached sibling tables spliced into the merges.
+    The DP is deterministic, so incremental outcomes are byte-identical
+    to a scratch recompute — the invariant the incremental-vs-scratch
+    oracle enforces.
+
+    Contract: after every edit at node [v] (sink RAT, parent-wire
+    values) call [dirty memo tree v] before the next [run ?memo]. Edits
+    that change node ids or topology (resegmenting) need [clear] — the
+    config stamp also catches them, as it does any change of mode /
+    noise / pruning / widths / library. One memo serves one net. *)
+module Memo : sig
+  type t
+
+  val create : unit -> t
+
+  val dirty : t -> Rctree.Tree.t -> int -> unit
+  (** Forget node [v]'s cached table and every ancestor's — the tables
+      whose subtrees contain [v]. *)
+
+  val dirty_node : t -> int -> unit
+  (** Forget only [v]'s own table, leaving stale ancestors in place:
+      the {!Stale_memo} mutation. Never correct in production. *)
+
+  val clear : t -> unit
+  (** Drop every entry and the resident arena. *)
+
+  val stored : t -> int
+  (** Entries currently cached. *)
+
+  val hits : t -> int
+  (** Lifetime count of cached tables reused by [run ?memo]. *)
+
+  val misses : t -> int
+  (** Lifetime count of tables computed and stored by [run ?memo]. *)
+end
 
 type stats = {
   generated : int;
@@ -81,7 +130,8 @@ type stats = {
   arena : int;
       (** solution-trace arena nodes recorded this run (DESIGN.md §11):
           one per buffer insertion, branch-merge pairing and wire-sizing
-          decision that was actually materialized *)
+          decision that was actually materialized. Under [?memo] this is
+          the run's delta into the resident arena. *)
   minor_words : float;
       (** words this domain allocated on the minor heap during the run
           ([Gc.minor_words] delta — domain-local, so concurrent domains
@@ -124,6 +174,7 @@ val run :
   ?widths:float list ->
   ?area_frac:float ->
   ?mutation:mutation ->
+  ?memo:Memo.t ->
   noise:bool ->
   mode:mode ->
   lib:Tech.Buffer.t list ->

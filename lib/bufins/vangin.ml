@@ -3,10 +3,11 @@ let best_exn outcome =
   | Some r -> r
   | None -> assert false (* the zero-buffer candidate always survives without noise checks *)
 
-let run ?pruning ~lib tree = best_exn (Dp.run ?pruning ~noise:false ~mode:Dp.Single ~lib tree)
+let run ?pruning ?memo ~lib tree =
+  best_exn (Dp.run ?pruning ?memo ~noise:false ~mode:Dp.Single ~lib tree)
 
-let run_max ?pruning ~max_buffers ~lib tree =
-  best_exn (Dp.run ?pruning ~noise:false ~mode:(Dp.Per_count max_buffers) ~lib tree)
+let run_max ?pruning ?memo ~max_buffers ~lib tree =
+  best_exn (Dp.run ?pruning ?memo ~noise:false ~mode:(Dp.Per_count max_buffers) ~lib tree)
 
-let by_count ?pruning ~kmax ~lib tree =
-  (Dp.run ?pruning ~noise:false ~mode:(Dp.Per_count kmax) ~lib tree).Dp.by_count
+let by_count ?pruning ?memo ~kmax ~lib tree =
+  (Dp.run ?pruning ?memo ~noise:false ~mode:(Dp.Per_count kmax) ~lib tree).Dp.by_count

@@ -8,12 +8,17 @@
     engine. Outcomes are byte-identical either way. *)
 
 val run :
-  ?pruning:[ `Predictive | `Sweep_only ] -> lib:Tech.Buffer.t list -> Rctree.Tree.t -> Dp.result
+  ?pruning:[ `Predictive | `Sweep_only ] ->
+  ?memo:Dp.Memo.t ->
+  lib:Tech.Buffer.t list ->
+  Rctree.Tree.t ->
+  Dp.result
 (** Maximize the source timing slack; no noise constraints. Always
     succeeds (the zero-buffer candidate survives). *)
 
 val run_max :
   ?pruning:[ `Predictive | `Sweep_only ] ->
+  ?memo:Dp.Memo.t ->
   max_buffers:int ->
   lib:Tech.Buffer.t list ->
   Rctree.Tree.t ->
@@ -23,6 +28,7 @@ val run_max :
 
 val by_count :
   ?pruning:[ `Predictive | `Sweep_only ] ->
+  ?memo:Dp.Memo.t ->
   kmax:int ->
   lib:Tech.Buffer.t list ->
   Rctree.Tree.t ->

@@ -387,6 +387,100 @@ let pred_vs_sweep ?mutation (inst : Instance.t) =
   check "noise/per-count" ~noise:true ~mode:(Dp.Per_count 8);
   Pass
 
+(* The incremental-DP oracle (DESIGN.md §14): a deterministic schedule
+   of edits — RAT nudges, wire rescalings, noise-environment flips — is
+   replayed twice. The incremental side threads one resident
+   {!Dp.Memo} per mode through every step and invalidates exactly what
+   the serve daemon would: the edited node's path to the root for RAT
+   and wire edits, the whole memo for a noise-environment change. The
+   scratch side runs a fresh memo-less DP per step. Every step, in
+   delay and noise mode alike, the two must agree exactly — same
+   feasibility, bit-equal slack, identical placements and wire sizes.
+   The [Stale_memo] mutation under-invalidates (the edited node only,
+   ancestors left holding tables computed for the old subtree) and is
+   exactly what this oracle exists to catch. *)
+let incremental_vs_scratch ?mutation (inst : Instance.t) =
+  let lib = inst.Instance.lib in
+  let seg = segmented inst in
+  let memo_d = Dp.Memo.create () and memo_n = Dp.Memo.create () in
+  let dirty tree v =
+    if mutation = Some Dp.Stale_memo then begin
+      Dp.Memo.dirty_node memo_d v;
+      Dp.Memo.dirty_node memo_n v
+    end
+    else begin
+      Dp.Memo.dirty memo_d tree v;
+      Dp.Memo.dirty memo_n tree v
+    end
+  in
+  let eq_step what (a : Dp.result option) (b : Dp.result option) =
+    match (a, b) with
+    | None, None -> ()
+    | Some a, None ->
+        failf "%s: incremental finds slack %.17g, scratch none" what a.Dp.slack
+    | None, Some b ->
+        failf "%s: scratch finds slack %.17g, incremental none" what b.Dp.slack
+    | Some a, Some b ->
+        if a.Dp.slack <> b.Dp.slack then
+          failf "%s: slack %.17g vs scratch %.17g" what a.Dp.slack b.Dp.slack;
+        if a.Dp.count <> b.Dp.count then
+          failf "%s: count %d vs scratch %d" what a.Dp.count b.Dp.count;
+        if a.Dp.placements <> b.Dp.placements then failf "%s: placements differ" what;
+        if a.Dp.sizes <> b.Dp.sizes then failf "%s: wire-size choices differ" what
+  in
+  let check step tree =
+    List.iter
+      (fun (tag, noise, memo) ->
+        let inc = Dp.run ?mutation ~memo ~noise ~mode:Dp.Single ~lib tree in
+        let scr = Dp.run ?mutation ~noise ~mode:Dp.Single ~lib tree in
+        eq_step (Printf.sprintf "step %d %s" step tag) inc.Dp.best scr.Dp.best)
+      [ ("delay", false, memo_d); ("noise", true, memo_n) ]
+  in
+  (* the edit schedule is a pure function of the instance, so corpus
+     replays are deterministic *)
+  let rng =
+    Util.Rng.create ((31 * T.node_count seg) + Instance.sink_count inst)
+  in
+  let sinks = Array.of_list (T.sinks seg) in
+  let rec non_root () =
+    let v = Util.Rng.int rng (T.node_count seg) in
+    if v = T.root seg then non_root () else v
+  in
+  let tree = ref seg in
+  check 0 !tree;
+  for step = 1 to 6 do
+    (match Util.Rng.int rng 3 with
+    | 0 ->
+        (* RAT nudge on one sink *)
+        let s = sinks.(Util.Rng.int rng (Array.length sinks)) in
+        let rat =
+          match T.kind !tree s with
+          | T.Sink sk -> sk.T.rat
+          | T.Source _ | T.Internal | T.Buffered _ -> assert false
+        in
+        tree := T.with_sink_rat !tree s ~rat:(rat *. Util.Rng.range rng 0.6 1.4);
+        dirty !tree s
+    | 1 ->
+        (* rescale one wire's parasitics (a re-segmenting-style edit
+           that keeps node ids stable) *)
+        let v = non_root () in
+        let f = Util.Rng.range rng 0.8 1.25 in
+        tree :=
+          T.map_wires !tree (fun u w ->
+              if u = v then { w with T.res = w.T.res *. f; T.cap = w.T.cap *. f }
+              else w);
+        dirty !tree v
+    | _ ->
+        (* noise-environment flip: every coupled current scales, so
+           every cached table is suspect — full invalidation *)
+        let f = if Util.Rng.bool rng then 0.5 else 1.8 in
+        tree := T.map_wires !tree (fun _ w -> { w with T.cur = w.T.cur *. f });
+        Dp.Memo.clear memo_d;
+        Dp.Memo.clear memo_n);
+    check step !tree
+  done;
+  Pass
+
 let run ?mutation (inst : Instance.t) =
   let tag v =
     match v with
@@ -403,6 +497,7 @@ let run ?mutation (inst : Instance.t) =
     | Instance.Dp_invariants -> dp_invariants ?mutation inst
     | Instance.Dp_trace -> dp_trace ?mutation inst
     | Instance.Pred_vs_sweep -> pred_vs_sweep ?mutation inst
+    | Instance.Incremental_vs_scratch -> incremental_vs_scratch ?mutation inst
   with
   | v -> tag v
   | exception Failed m -> tag (Fail m)

@@ -95,6 +95,9 @@ let instance_for oracle rng =
   | Instance.Pred_vs_sweep ->
       Instance.make ~tree:(random_net rng) ~lib:Tech.Lib.default_library ~seg_len:500e-6
         oracle
+  | Instance.Incremental_vs_scratch ->
+      Instance.make ~tree:(random_net rng) ~lib:Tech.Lib.default_library ~seg_len:500e-6
+        oracle
 
 let instance rng =
   let oracle = Util.Rng.choice rng (Array.of_list Instance.all_oracles) in

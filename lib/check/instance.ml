@@ -9,6 +9,7 @@ type oracle =
   | Dp_invariants
   | Dp_trace
   | Pred_vs_sweep
+  | Incremental_vs_scratch
 
 let all_oracles =
   [
@@ -20,6 +21,7 @@ let all_oracles =
     Dp_invariants;
     Dp_trace;
     Pred_vs_sweep;
+    Incremental_vs_scratch;
   ]
 
 let oracle_name = function
@@ -31,6 +33,7 @@ let oracle_name = function
   | Dp_invariants -> "dp-invariants"
   | Dp_trace -> "dp-trace"
   | Pred_vs_sweep -> "pred-vs-sweep"
+  | Incremental_vs_scratch -> "incremental-vs-scratch"
 
 let oracle_of_name s = List.find_opt (fun o -> oracle_name o = s) all_oracles
 

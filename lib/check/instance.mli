@@ -36,6 +36,14 @@ type oracle =
           delay, noise, Single and Per_count modes, while generating no
           more candidates than it and keeping the drop accounting
           conserved on both sides *)
+  | Incremental_vs_scratch
+      (** a deterministic sequence of edits — RAT nudges, wire
+          rescalings, noise-environment flips — replayed incrementally
+          through one resident {!Bufins.Dp.Memo} (dirtying the edited
+          path, as the serve daemon does) must produce, at every step
+          and in both delay and noise modes, exactly the outcome of a
+          fresh scratch run: same feasibility, bit-equal slack,
+          identical placements and wire sizes *)
 
 val all_oracles : oracle list
 

@@ -20,10 +20,13 @@ let describe = function
   | Infeasible msg -> msg
   | e -> Printexc.to_string e
 
-let map ?domains ?chunk ?costs ?(retries = 0) f xs =
+let map ?domains ?pool ?chunk ?costs ?(retries = 0) f xs =
   if retries < 0 then invalid_arg "Engine.map: retries < 0";
   let domains =
-    match domains with Some d -> d | None -> Pool.default_domains ()
+    match (domains, pool) with
+    | Some d, _ -> d
+    | None, Some p -> Pool.size p
+    | None, None -> Pool.default_domains ()
   in
   let input = Array.of_list xs in
   let n = Array.length input in
@@ -50,7 +53,7 @@ let map ?domains ?chunk ?costs ?(retries = 0) f xs =
      never store into adjacent cells of one unboxed float array (false
      sharing). The merge is by index, hence deterministic. *)
   let buffers, sched =
-    Pool.run ~domains ?chunk ?costs ~n
+    Pool.run ~domains ?pool ?chunk ?costs ~n
       ~init:(fun _ -> ref [])
       (fun acc i ->
         let j0 = Util.Clock.now () in
@@ -100,7 +103,8 @@ type report = {
   timing : timing;
 }
 
-let optimize ?domains ?chunk ?retries ?seg_len ?kmax ~algorithm ~lib jobs =
+let optimize ?domains ?pool ?chunk ?retries ?seg_len ?kmax ~algorithm ~lib jobs
+    =
   let one (net, tree) =
     match Bufins.Buffopt.optimize ?seg_len ?kmax algorithm ~lib tree with
     | Some r -> r
@@ -116,7 +120,7 @@ let optimize ?domains ?chunk ?retries ?seg_len ?kmax ~algorithm ~lib jobs =
   let costs =
     Array.of_list (List.map (fun (net, _) -> Steiner.Net.degree net) jobs)
   in
-  let outcomes, timing = map ?domains ?chunk ~costs ?retries one jobs in
+  let outcomes, timing = map ?domains ?pool ?chunk ~costs ?retries one jobs in
   let names = Array.of_list (List.map (fun (n, _) -> n.Steiner.Net.nname) jobs) in
   let results = Array.mapi (fun i outcome -> { net = names.(i); outcome }) outcomes in
   (* merge in job order: the aggregate is independent of scheduling *)

@@ -46,6 +46,7 @@ type timing = {
 
 val map :
   ?domains:int ->
+  ?pool:Pool.t ->
   ?chunk:int ->
   ?costs:int array ->
   ?retries:int ->
@@ -54,7 +55,11 @@ val map :
   'b outcome array * timing
 (** The generic engine: apply [f] to every element on a domain pool and
     return per-element outcomes in input order. [domains] defaults to
-    {!Pool.default_domains}; [chunk] / [costs] control chunk sizing and
+    [Pool.size pool] when a resident [pool] is given (the serve daemon's
+    warm domains), else {!Pool.default_domains}; with [pool] the workers
+    are the pool's resident domains instead of freshly spawned ones, and
+    results are byte-identical either way. [chunk] / [costs] control
+    chunk sizing and
     shard balance (see {!Pool.run} — [costs.(i)] is job [i]'s estimated
     cost); [retries] (default 0) is how many times a job that raised is
     re-run before it is recorded as [Failed]. [f] must be safe to run
@@ -90,6 +95,7 @@ type report = {
 
 val optimize :
   ?domains:int ->
+  ?pool:Pool.t ->
   ?chunk:int ->
   ?retries:int ->
   ?seg_len:float ->

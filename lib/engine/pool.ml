@@ -1,5 +1,106 @@
 let default_domains () = Domain.recommended_domain_count ()
 
+(* {1 Persistent pool handle}
+
+   A resident fork-join pool: [domains - 1] worker domains are spawned
+   once at [create] and then sleep on a condition variable between
+   parallel regions, so a long-lived caller (the serve daemon) pays the
+   Domain.spawn/join cost once instead of per request. A region is one
+   [(int -> unit)] task executed as task w on every worker w (the
+   calling domain is always worker 0); [exec] returns when every worker
+   has finished the region. Regions never overlap: [exec] is a
+   full barrier, and concurrent [exec] calls from different domains are
+   not supported (the serve loop is single-threaded). *)
+
+type t = {
+  psize : int;  (** total workers including the calling domain *)
+  m : Mutex.t;
+  start : Condition.t;
+  finished : Condition.t;
+  mutable epoch : int;  (** bumped once per region *)
+  mutable task : (int -> unit) option;
+  mutable remaining : int;  (** helpers still inside the current region *)
+  mutable stopped : bool;
+  mutable helpers : unit Domain.t list;
+}
+
+(* Helpers park here between regions. The task wrapper installed by
+   [exec] never lets an exception escape (worker bodies record their
+   exception per worker slot), so a raise cannot wedge the barrier. *)
+let helper_loop p w =
+  let seen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock p.m;
+    while (not p.stopped) && p.epoch = !seen do
+      Condition.wait p.start p.m
+    done;
+    if p.stopped then begin
+      Mutex.unlock p.m;
+      running := false
+    end
+    else begin
+      seen := p.epoch;
+      let task = Option.get p.task in
+      Mutex.unlock p.m;
+      task w;
+      Mutex.lock p.m;
+      p.remaining <- p.remaining - 1;
+      if p.remaining = 0 then Condition.broadcast p.finished;
+      Mutex.unlock p.m
+    end
+  done
+
+let create ?domains () =
+  let psize = max 1 (match domains with Some d -> d | None -> default_domains ()) in
+  let p =
+    {
+      psize;
+      m = Mutex.create ();
+      start = Condition.create ();
+      finished = Condition.create ();
+      epoch = 0;
+      task = None;
+      remaining = 0;
+      stopped = false;
+      helpers = [];
+    }
+  in
+  p.helpers <- List.init (psize - 1) (fun i -> Domain.spawn (fun () -> helper_loop p (i + 1)));
+  p
+
+let size p = p.psize
+
+let exec p task =
+  Mutex.lock p.m;
+  if p.stopped then begin
+    Mutex.unlock p.m;
+    invalid_arg "Pool.exec: pool is shut down"
+  end;
+  p.task <- Some task;
+  p.remaining <- p.psize - 1;
+  p.epoch <- p.epoch + 1;
+  Condition.broadcast p.start;
+  Mutex.unlock p.m;
+  task 0;
+  Mutex.lock p.m;
+  while p.remaining > 0 do
+    Condition.wait p.finished p.m
+  done;
+  p.task <- None;
+  Mutex.unlock p.m
+
+let shutdown p =
+  Mutex.lock p.m;
+  let first = not p.stopped in
+  p.stopped <- true;
+  Condition.broadcast p.start;
+  Mutex.unlock p.m;
+  if first then begin
+    List.iter Domain.join p.helpers;
+    p.helpers <- []
+  end
+
 type stats = {
   workers : int;
   chunks : int;
@@ -99,7 +200,7 @@ let assign ~workers ~costs chunks =
       a)
     qs
 
-let run ~domains ?chunk ?costs ~n ~init body =
+let run ~domains ?pool ?chunk ?costs ~n ~init body =
   if domains < 1 then invalid_arg "Pool.parallel_for: domains < 1";
   (match chunk with
   | Some c when c < 1 -> invalid_arg "Pool.parallel_for: chunk < 1"
@@ -110,7 +211,11 @@ let run ~domains ?chunk ?costs ~n ~init body =
   | _ -> ());
   if n = 0 then ([||], no_stats)
   else begin
-    let workers = min domains n in
+    let workers =
+      match pool with
+      | None -> min domains n
+      | Some p -> min (min domains n) (size p)
+    in
     let chunks =
       match (chunk, costs) with
       | Some c, _ -> fixed_chunks ~size:c n
@@ -192,34 +297,35 @@ let run ~domains ?chunk ?costs ~n ~init body =
       st
     in
     let results = Array.make workers None in
-    (* join every helper even if a worker raised, then surface one
-       exception; a domain left unjoined would leak *)
-    let first_exn = ref None in
-    let note e = if !first_exn = None then first_exn := Some e in
+    (* every worker records its exception in its own slot; the first
+       slot in index order is re-raised only after every domain has
+       finished the region (a domain left unjoined would leak) *)
+    let exns = Array.make workers None in
+    let attempt w =
+      try results.(w) <- Some (worker w) with e -> exns.(w) <- Some e
+    in
     let t0 = Util.Clock.now () in
-    if workers = 1 then (try results.(0) <- Some (worker 0) with e -> note e)
-    else begin
-      let helpers =
-        List.init (workers - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1)))
-      in
-      (try results.(0) <- Some (worker 0) with e -> note e);
-      List.iteri
-        (fun i d ->
-          match Domain.join d with
-          | st -> results.(i + 1) <- Some st
-          | exception e -> note e)
-        helpers
-    end;
+    (match pool with
+    | Some p -> exec p (fun w -> if w < workers then attempt w)
+    | None ->
+        if workers = 1 then attempt 0
+        else begin
+          let helpers =
+            List.init (workers - 1) (fun i -> Domain.spawn (fun () -> attempt (i + 1)))
+          in
+          attempt 0;
+          List.iter Domain.join helpers
+        end);
     let wall = Util.Clock.now () -. t0 in
-    (match !first_exn with None -> () | Some e -> raise e);
+    Array.iter (function Some e -> raise e | None -> ()) exns;
     let states =
       Array.map (function Some s -> s | None -> assert false) results
     in
     (states, { workers; chunks = nchunks; jobs; steals; busy_s = busy; wall_s = wall })
   end
 
-let parallel_for ~domains ?chunk ?costs ~n body =
+let parallel_for ~domains ?pool ?chunk ?costs ~n body =
   let (_ : unit array), (_ : stats) =
-    run ~domains ?chunk ?costs ~n ~init:(fun _ -> ()) (fun () i -> body i)
+    run ~domains ?pool ?chunk ?costs ~n ~init:(fun _ -> ()) (fun () i -> body i)
   in
   ()

@@ -19,6 +19,41 @@ val default_domains : unit -> int
 (** [Domain.recommended_domain_count ()] — the runtime's estimate of
     how many domains this machine runs without oversubscription. *)
 
+(** {1 Persistent pool}
+
+    By default every [run] spawns its helper domains and joins them
+    before returning — correct for a one-shot batch, wasteful for a
+    long-running service answering thousands of requests. A {!t} handle
+    keeps the helpers resident: they sleep on a condition variable
+    between parallel regions, and a [run ~pool] reuses them instead of
+    spawning. Results are byte-identical with and without a pool — the
+    handle changes only where the worker bodies execute. *)
+
+type t
+(** A resident worker pool: [create ~domains] spawns [domains - 1]
+    helper domains once; the calling domain is always worker 0 of every
+    region. *)
+
+val create : ?domains:int -> unit -> t
+(** Spawn the helpers ([domains] defaults to {!default_domains},
+    clamped to [>= 1]). The handle must eventually be {!shutdown} or
+    the helper domains outlive the caller. *)
+
+val size : t -> int
+(** Total workers including the calling domain. *)
+
+val exec : t -> (int -> unit) -> unit
+(** [exec p task] runs [task w] on every worker [w] in
+    [0 .. size p - 1] ([task 0] on the calling domain) and returns when
+    all have finished. One region at a time: [exec] is a full barrier
+    and must not be called concurrently from two domains. [task] must
+    not raise (see {!run}, which wraps bodies accordingly). Raises
+    [Invalid_argument] after {!shutdown}. *)
+
+val shutdown : t -> unit
+(** Wake and join the helper domains. Idempotent; subsequent {!exec} /
+    [run ~pool] calls on the handle raise [Invalid_argument]. *)
+
 type stats = {
   workers : int;  (** worker domains actually used, [min domains n] *)
   chunks : int;  (** chunks planned over the index range *)
@@ -38,6 +73,7 @@ val utilization : stats -> float array
 
 val run :
   domains:int ->
+  ?pool:t ->
   ?chunk:int ->
   ?costs:int array ->
   n:int ->
@@ -68,12 +104,24 @@ val run :
     [ceil (n / workers)] so every worker still gets a chunk.
 
     [body] must not raise: an escaping exception kills that worker's
-    remaining chunks; one such exception is re-raised here after every
-    domain has been joined. Raises [Invalid_argument] when [chunk < 1],
-    [domains < 1], or [Array.length costs <> n]. *)
+    remaining chunks; one such exception (lowest worker index first) is
+    re-raised here after every domain has finished. Raises
+    [Invalid_argument] when [chunk < 1], [domains < 1], or
+    [Array.length costs <> n].
+
+    With [pool], the region executes on the resident pool's domains
+    instead of freshly spawned ones and the worker count is additionally
+    capped at [size pool]; everything else — chunk plan, shard
+    assignment, stealing, determinism of results — is identical. *)
 
 val parallel_for :
-  domains:int -> ?chunk:int -> ?costs:int array -> n:int -> (int -> unit) -> unit
+  domains:int ->
+  ?pool:t ->
+  ?chunk:int ->
+  ?costs:int array ->
+  n:int ->
+  (int -> unit) ->
+  unit
 (** [run] without per-worker state or scheduling counters: calls
     [body i] exactly once for every [i] in [0 .. n-1]. Same chunking,
     stealing, and exception contract as {!run}. *)

@@ -110,6 +110,15 @@ let map_wires t f =
         t.nodes;
   }
 
+let with_sink_rat t v ~rat =
+  match t.nodes.(v).kind with
+  | Sink s ->
+      let nodes = Array.copy t.nodes in
+      nodes.(v) <- { nodes.(v) with kind = Sink { s with rat } };
+      { t with nodes }
+  | Source _ | Internal | Buffered _ ->
+      invalid_arg "Tree.with_sink_rat: node is not a sink"
+
 let validate t =
   let n = Array.length t.nodes in
   let first = ref None in

@@ -116,6 +116,12 @@ val map_wires : t -> (int -> wire -> wire) -> t
     function (applied to the owning node's id); structure and node ids
     are preserved. *)
 
+val with_sink_rat : t -> int -> rat:float -> t
+(** A copy of the tree with sink [v]'s required arrival time replaced;
+    structure and node ids are preserved (the serve daemon's
+    [update-rat] edit). Raises [Invalid_argument] when [v] is not a
+    sink. *)
+
 val validate : t -> (unit, string) result
 (** Structural invariants: unique source at the root, binary fanout, sinks
     are leaves, wires present exactly on non-roots, non-negative wire

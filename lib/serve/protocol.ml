@@ -1,0 +1,94 @@
+(* Request grammar of the serve daemon (DESIGN.md §14): one request per
+   LF-terminated line, fields split on runs of spaces, a trailing CR
+   tolerated for telnet-style clients. The parser owns syntax only —
+   verbs, arity, number formats, the line-length cap; range checks
+   (net / sink / node ids against the loaded design) belong to
+   [Session], which knows what is loaded. *)
+
+type request =
+  | Load of { nets : int; seed : int }
+  | Optimize of { net : int }
+  | Update_rat of { net : int; sink : int; ps : float }
+  | Update_wire of { net : int; node : int; scale : float }
+  | Update_noise of { net : int; scale : float }
+  | Stats
+  | Shutdown
+
+let max_line = 1024
+
+let render = function
+  | Load { nets; seed } -> Printf.sprintf "load workload %d %d" nets seed
+  | Optimize { net } -> Printf.sprintf "optimize %d" net
+  | Update_rat { net; sink; ps } ->
+      Printf.sprintf "update-rat %d %d %.17g" net sink ps
+  | Update_wire { net; node; scale } ->
+      Printf.sprintf "update-wire %d %d %.17g" net node scale
+  | Update_noise { net; scale } ->
+      Printf.sprintf "update-noise %d %.17g" net scale
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+
+let int_arg name s =
+  match int_of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "bad %s: %S is not an integer" name s)
+
+let float_arg name s =
+  match float_of_string_opt s with
+  | Some v when Float.is_finite v -> Ok v
+  | Some _ | None ->
+      Error (Printf.sprintf "bad %s: %S is not a finite number" name s)
+
+let ( let* ) = Result.bind
+
+let parse line =
+  if String.length line > max_line then
+    Error (Printf.sprintf "oversized line (%d bytes, max %d)" (String.length line) max_line)
+  else
+    let line =
+      match String.length line with
+      | 0 -> line
+      | n when line.[n - 1] = '\r' -> String.sub line 0 (n - 1)
+      | _ -> line
+    in
+    let fields =
+      String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+    in
+    match fields with
+    | [] -> Error "empty request"
+    | verb :: args -> (
+        match (verb, args) with
+        | "load", [ "workload"; n; s ] ->
+            let* nets = int_arg "net count" n in
+            let* seed = int_arg "seed" s in
+            if nets < 1 then Error "bad net count: must be >= 1"
+            else Ok (Load { nets; seed })
+        | "load", _ -> Error "usage: load workload <nets> <seed>"
+        | "optimize", [ n ] ->
+            let* net = int_arg "net id" n in
+            Ok (Optimize { net })
+        | "optimize", _ -> Error "usage: optimize <net>"
+        | "update-rat", [ n; s; ps ] ->
+            let* net = int_arg "net id" n in
+            let* sink = int_arg "sink id" s in
+            let* ps = float_arg "rat" ps in
+            Ok (Update_rat { net; sink; ps })
+        | "update-rat", _ -> Error "usage: update-rat <net> <sink> <ps>"
+        | "update-wire", [ n; v; sc ] ->
+            let* net = int_arg "net id" n in
+            let* node = int_arg "node id" v in
+            let* scale = float_arg "scale" sc in
+            if scale <= 0.0 then Error "bad scale: must be > 0"
+            else Ok (Update_wire { net; node; scale })
+        | "update-wire", _ -> Error "usage: update-wire <net> <node> <scale>"
+        | "update-noise", [ n; sc ] ->
+            let* net = int_arg "net id" n in
+            let* scale = float_arg "scale" sc in
+            if scale < 0.0 then Error "bad scale: must be >= 0"
+            else Ok (Update_noise { net; scale })
+        | "update-noise", _ -> Error "usage: update-noise <net> <scale>"
+        | "stats", [] -> Ok Stats
+        | "stats", _ -> Error "usage: stats"
+        | "shutdown", [] -> Ok Shutdown
+        | "shutdown", _ -> Error "usage: shutdown"
+        | _ -> Error (Printf.sprintf "unknown verb %S" verb))

@@ -1,0 +1,39 @@
+(** The serve daemon's line-oriented request grammar (DESIGN.md §14).
+
+    One request per LF-terminated line; fields split on runs of spaces;
+    a trailing CR is tolerated. The parser enforces syntax only — verb,
+    arity, number formats and the {!max_line} cap. Range validation of
+    net / sink / node ids is {!Session}'s job: the parser has no idea
+    what is loaded.
+
+    Responses are single lines too, written by {!Session}: [ok]
+    followed by [key=value] fields (always ending in [t=<ms>], the
+    server-side handling latency), or [err <message>]. *)
+
+type request =
+  | Load of { nets : int; seed : int }
+      (** [load workload <nets> <seed>]: generate and load a
+          {!Workload} design — deterministic in [seed]. *)
+  | Optimize of { net : int }  (** [optimize <net>] *)
+  | Update_rat of { net : int; sink : int; ps : float }
+      (** [update-rat <net> <sink> <ps>]: set the [sink]-th sink's
+          required arrival time, picoseconds. *)
+  | Update_wire of { net : int; node : int; scale : float }
+      (** [update-wire <net> <node> <scale>]: scale the resistance and
+          capacitance of [node]'s parent wire. *)
+  | Update_noise of { net : int; scale : float }
+      (** [update-noise <net> <scale>]: scale the coupled aggressor
+          current on every wire of the net (eq. 6's noise environment). *)
+  | Stats  (** [stats] *)
+  | Shutdown  (** [shutdown]: stop the daemon after replying. *)
+
+val max_line : int
+(** Longest accepted request line, bytes (1024). *)
+
+val parse : string -> (request, string) result
+(** Parse one line (without the terminating LF). The error string is
+    human-readable and becomes the [err] response verbatim. *)
+
+val render : request -> string
+(** The canonical request line (no LF) — [parse (render r) = Ok r].
+    Used by the client helpers, the bench driver and the tests. *)

@@ -1,0 +1,55 @@
+(** The [buffopt serve] daemon: a persistent optimization service
+    (DESIGN.md §14).
+
+    The ROADMAP's production framing: instead of the one-shot batch of
+    the paper's Tables II-IV, a long-running process keeps design state
+    resident — prepared libraries, once-segmented RC trees, incremental
+    DP memos ({!Bufins.Dp.Memo}), warm {!Engine.Pool} domains — and
+    answers optimize / edit requests over a line protocol
+    ({!Protocol}) on a Unix or TCP socket.
+
+    The server is a single-threaded select loop: requests from all
+    clients are serialized (a DP run blocks the loop), while the
+    parallelism lives inside a request via the resident pool (the warm
+    pass of [load]). Each connection gets its own {!Session}, so
+    clients are fully isolated from one another. A [shutdown] request
+    from any client stops the daemon after the reply. *)
+
+module Protocol = Protocol
+module Session = Session
+
+type endpoint =
+  | Unix_path of string  (** Unix-domain socket at this path *)
+  | Tcp_port of int  (** TCP on loopback at this port *)
+
+val serve :
+  ?options:Session.options ->
+  ?domains:int ->
+  ?log:(string -> unit) ->
+  endpoint ->
+  unit
+(** Run the daemon until a [shutdown] request. Creates the resident
+    pool ([domains] workers, default {!Engine.Pool.default_domains}),
+    listens on [endpoint] (an existing Unix-socket path is replaced;
+    the path is unlinked on exit), and serves. [log] receives one-line
+    lifecycle messages (connects, shutdown); default silent. *)
+
+(** A minimal blocking client for the CLI, tests, and CI smoke: one
+    request line out, one reply line back. *)
+module Client : sig
+  type t
+
+  val connect : endpoint -> t
+  (** Raises [Unix.Unix_error] when the daemon is not there. *)
+
+  val request : t -> string -> string option
+  (** Send one line, wait for the reply line; [None] when the server
+      closed the connection instead. *)
+
+  val close : t -> unit
+
+  val script : endpoint -> string list -> string list
+  (** Run request lines in order over one connection and return the
+      reply lines ([err connection closed by server] for requests the
+      server never answered). Connection closed afterwards. *)
+end

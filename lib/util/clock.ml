@@ -1,14 +1,22 @@
 (* OCaml 5.1's Unix module has no clock_gettime, so the monotonic
-   guarantee is grafted onto gettimeofday: a shared high-water mark makes
-   [now] non-decreasing across all domains. *)
+   guarantee is grafted onto gettimeofday with a high-water mark. The
+   mark is domain-local (Domain.DLS): the old single Atomic was CAS'd on
+   every sample, and under a warm serve pool every request latency
+   sample ping-ponged that one cache line across workers. Per-domain
+   marks keep [now] non-decreasing within each domain — all durations
+   are taken on one domain, so they stay non-negative — without any
+   cross-domain write traffic. *)
 
-let last = Atomic.make neg_infinity
+let mark = Domain.DLS.new_key (fun () -> ref neg_infinity)
 
-let rec now () =
+let now () =
+  let last = Domain.DLS.get mark in
   let t = Unix.gettimeofday () in
-  let prev = Atomic.get last in
-  if t >= prev then if Atomic.compare_and_set last prev t then t else now ()
-  else prev
+  if t >= !last then begin
+    last := t;
+    t
+  end
+  else !last
 
 let timed f =
   let t0 = now () in

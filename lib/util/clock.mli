@@ -1,15 +1,22 @@
-(** Wall-clock timing for the experiment harness and the batch engine.
+(** Wall-clock timing for the experiment harness, the batch engine and
+    the serve daemon.
 
     [Sys.time] measures CPU seconds summed over every domain, which
     double-counts under parallelism; everything that reports elapsed
     time uses this module instead. The clock is the system wall clock
-    monotonized across domains: [now] never goes backwards, even if the
-    underlying time-of-day clock is stepped, so durations are always
-    non-negative. *)
+    monotonized per domain: within one domain [now] never goes
+    backwards, even if the underlying time-of-day clock is stepped, so
+    durations — which are always taken on a single domain — are always
+    non-negative. The high-water mark is domain-local ([Domain.DLS]),
+    so concurrent workers sampling the clock on a hot path never write
+    a shared cache line; the cost is that two samples taken on {e
+    different} domains are not ordered through the mark (a stepped
+    clock can make a later sample on another domain read earlier). *)
 
 val now : unit -> float
-(** Monotonized wall-clock seconds since an arbitrary epoch. Safe to
-    call concurrently from multiple domains. *)
+(** Monotonized wall-clock seconds since an arbitrary epoch.
+    Non-decreasing within the calling domain; safe to call concurrently
+    from multiple domains (no shared state). *)
 
 val timed : (unit -> 'a) -> 'a * float
 (** [timed f] runs [f ()] and returns its result with the elapsed wall

@@ -298,6 +298,27 @@ let fuzz_tests =
             | Check.Diff.Pass | Check.Diff.Skip _ -> ()
             | Check.Diff.Fail m -> Alcotest.failf "shrunk instance fails healthy: %s" m)
           r.Check.Fuzz.failures);
+    case "mutation smoke: a stale incremental memo is caught" (fun () ->
+        (* DESIGN.md section 14: under-invalidate the DP memo (the edited
+           node only, ancestors keep tables computed for the old subtree)
+           and the incremental-vs-scratch oracle must see the replayed
+           edit sequence diverge from the scratch reference, with a
+           shrunk repro that fails mutated and passes healthy *)
+        let r =
+          Check.Fuzz.campaign ~mutation:Bufins.Dp.Stale_memo ~jobs:1 ~seed:1 ~count:60
+            ()
+        in
+        Alcotest.(check bool) "campaign failed" true (r.Check.Fuzz.failures <> []);
+        List.iter
+          (fun (f : Check.Fuzz.failure) ->
+            let shrunk = f.Check.Fuzz.shrunk in
+            (match Check.Diff.run ~mutation:Bufins.Dp.Stale_memo shrunk with
+            | Check.Diff.Fail _ -> ()
+            | _ -> Alcotest.fail "shrunk instance no longer fails mutated");
+            match Check.Diff.run shrunk with
+            | Check.Diff.Pass | Check.Diff.Skip _ -> ()
+            | Check.Diff.Fail m -> Alcotest.failf "shrunk instance fails healthy: %s" m)
+          r.Check.Fuzz.failures);
   ]
 
 let suites =

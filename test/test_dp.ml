@@ -162,4 +162,123 @@ let tests =
         Alcotest.(check bool) "strictly better" true (r.Bufins.Dp.slack > Elmore.slack t +. 1e-12));
   ]
 
-let suites = [ ("bufins.vangin", tests) ]
+(* {1 Incremental memo}
+
+   The memo's contract is byte-identity: a [run ?memo] — warm cache,
+   cold cache, or after dirty-marked edits — must return exactly the
+   slack / placements / sizes / count a scratch run computes. Exact
+   ([=]) comparisons throughout, never approx: any drift is a stale
+   table. *)
+
+let eq_result (a : Bufins.Dp.result option) (b : Bufins.Dp.result option) =
+  match (a, b) with
+  | None, None -> true
+  | Some a, Some b ->
+      a.Bufins.Dp.slack = b.Bufins.Dp.slack
+      && a.Bufins.Dp.placements = b.Bufins.Dp.placements
+      && a.Bufins.Dp.sizes = b.Bufins.Dp.sizes
+      && a.Bufins.Dp.count = b.Bufins.Dp.count
+  | Some _, None | None, Some _ -> false
+
+let eq_outcome (a : Bufins.Dp.outcome) (b : Bufins.Dp.outcome) =
+  eq_result a.Bufins.Dp.best b.Bufins.Dp.best
+  && Array.for_all2 eq_result a.Bufins.Dp.by_count b.Bufins.Dp.by_count
+
+let configs =
+  [
+    ("delay/single", false, Bufins.Dp.Single);
+    ("delay/per-count", false, Bufins.Dp.Per_count 4);
+    ("noise/single", true, Bufins.Dp.Single);
+    ("noise/per-count", true, Bufins.Dp.Per_count 4);
+  ]
+
+let memo_tests =
+  [
+    qcase ~count:25 "warm rerun equals scratch in every mode" brute_gen (function
+      | None -> true
+      | Some seg ->
+          List.for_all
+            (fun (_, noise, mode) ->
+              let scratch = Bufins.Dp.run ~noise ~mode ~lib:two_lib seg in
+              let memo = Bufins.Dp.Memo.create () in
+              let cold = Bufins.Dp.run ~memo ~noise ~mode ~lib:two_lib seg in
+              let warm = Bufins.Dp.run ~memo ~noise ~mode ~lib:two_lib seg in
+              eq_outcome scratch cold && eq_outcome scratch warm
+              (* the warm rerun recomputes nothing below the root *)
+              && Bufins.Dp.Memo.hits memo > 0)
+            configs);
+    qcase ~count:25 "incremental RAT edit equals scratch" brute_gen (function
+      | None -> true
+      | Some seg ->
+          List.for_all
+            (fun (_, noise, mode) ->
+              let memo = Bufins.Dp.Memo.create () in
+              let _warm = Bufins.Dp.run ~memo ~noise ~mode ~lib:two_lib seg in
+              List.for_all
+                (fun s ->
+                  let rat = (match T.kind seg s with
+                    | T.Sink sk -> sk.T.rat
+                    | _ -> assert false) in
+                  let seg' = T.with_sink_rat seg s ~rat:(rat *. 0.5) in
+                  Bufins.Dp.Memo.dirty memo seg' s;
+                  let inc = Bufins.Dp.run ~memo ~noise ~mode ~lib:two_lib seg' in
+                  let scratch = Bufins.Dp.run ~noise ~mode ~lib:two_lib seg' in
+                  (* restore the original RAT so the next sink's edit
+                     starts from the shared baseline *)
+                  Bufins.Dp.Memo.dirty memo seg s;
+                  ignore (Bufins.Dp.run ~memo ~noise ~mode ~lib:two_lib seg);
+                  eq_outcome scratch inc)
+                (T.sinks seg))
+            configs);
+    qcase ~count:25 "incremental wire edit equals scratch" brute_gen (function
+      | None -> true
+      | Some seg ->
+          List.for_all
+            (fun (_, noise, mode) ->
+              let memo = Bufins.Dp.Memo.create () in
+              let _warm = Bufins.Dp.run ~memo ~noise ~mode ~lib:two_lib seg in
+              List.for_all
+                (fun v ->
+                  let seg' =
+                    T.map_wires seg (fun i w ->
+                        if i = v then
+                          {
+                            w with
+                            T.res = w.T.res *. 1.3;
+                            T.cap = w.T.cap *. 1.1;
+                          }
+                        else w)
+                  in
+                  Bufins.Dp.Memo.dirty memo seg' v;
+                  let inc = Bufins.Dp.run ~memo ~noise ~mode ~lib:two_lib seg' in
+                  let scratch = Bufins.Dp.run ~noise ~mode ~lib:two_lib seg' in
+                  Bufins.Dp.Memo.dirty memo seg v;
+                  ignore (Bufins.Dp.run ~memo ~noise ~mode ~lib:two_lib seg);
+                  eq_outcome scratch inc)
+                (T.sinks seg))
+            configs);
+    qcase ~count:20 "config change drops the cache safely" brute_gen (function
+      | None -> true
+      | Some seg ->
+          let memo = Bufins.Dp.Memo.create () in
+          (* alternate configurations through one memo: every run must
+             still match its own scratch reference *)
+          List.for_all
+            (fun (_, noise, mode) ->
+              let inc = Bufins.Dp.run ~memo ~noise ~mode ~lib:two_lib seg in
+              let scratch = Bufins.Dp.run ~noise ~mode ~lib:two_lib seg in
+              eq_outcome scratch inc)
+            (configs @ configs));
+    case "memo counters and clear" (fun () ->
+        let seg = Rctree.Segment.refine (Fixtures.two_pin process ~len:4e-3) ~max_len:1e-3 in
+        let memo = Bufins.Dp.Memo.create () in
+        let _ = Bufins.Dp.run ~memo ~noise:false ~mode:Bufins.Dp.Single ~lib:single_lib seg in
+        Alcotest.(check bool) "stored > 0" true (Bufins.Dp.Memo.stored memo > 0);
+        Alcotest.(check int) "no hits yet" 0 (Bufins.Dp.Memo.hits memo);
+        let _ = Bufins.Dp.run ~memo ~noise:false ~mode:Bufins.Dp.Single ~lib:single_lib seg in
+        Alcotest.(check bool) "hits after rerun" true (Bufins.Dp.Memo.hits memo > 0);
+        Bufins.Dp.Memo.clear memo;
+        Alcotest.(check int) "cleared" 0 (Bufins.Dp.Memo.stored memo));
+  ]
+
+let suites = [ ("bufins.vangin", tests); ("bufins.memo", memo_tests) ]

@@ -118,6 +118,66 @@ let pool_cost_sharding_balances () =
   Alcotest.(check bool) "several chunks planned" true (stats.Engine.Pool.chunks >= 4)
 
 (* ------------------------------------------------------------------ *)
+(* Persistent pool handle                                              *)
+
+let handle_exec_covers_every_worker () =
+  let p = Engine.Pool.create ~domains:4 () in
+  Fun.protect
+    ~finally:(fun () -> Engine.Pool.shutdown p)
+    (fun () ->
+      Alcotest.(check int) "size" 4 (Engine.Pool.size p);
+      let hits = Array.init 4 (fun _ -> Atomic.make 0) in
+      (* regions are reusable: the same handle serves many barriers *)
+      for _ = 1 to 6 do
+        Engine.Pool.exec p (fun w -> Atomic.incr hits.(w))
+      done;
+      Array.iteri
+        (fun w h ->
+          Alcotest.(check int) (Printf.sprintf "worker %d ran each region" w) 6
+            (Atomic.get h))
+        hits)
+
+let handle_caps_run_workers () =
+  let p = Engine.Pool.create ~domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Engine.Pool.shutdown p)
+    (fun () ->
+      let n = 37 in
+      let hits = Array.init n (fun _ -> Atomic.make 0) in
+      let _, stats =
+        Engine.Pool.run ~domains:8 ~pool:p ~n
+          ~init:(fun w -> w)
+          (fun _ i -> Atomic.incr hits.(i))
+      in
+      Alcotest.(check int) "workers capped at pool size" 2 stats.Engine.Pool.workers;
+      Array.iteri
+        (fun i h ->
+          Alcotest.(check int) (Printf.sprintf "index %d once" i) 1 (Atomic.get h))
+        hits;
+      (* exceptions surface exactly as without a pool, and the handle
+         survives them *)
+      (match
+         Engine.Pool.parallel_for ~domains:2 ~pool:p ~n:20 (fun i ->
+             if i = 7 then failwith "pooled boom")
+       with
+      | () -> Alcotest.fail "expected the worker's exception to surface"
+      | exception Failure m -> Alcotest.(check string) "message" "pooled boom" m);
+      let again = Array.make n 0 in
+      Engine.Pool.parallel_for ~domains:2 ~pool:p ~n (fun i -> again.(i) <- again.(i) + 1);
+      Array.iteri
+        (fun i h -> Alcotest.(check int) (Printf.sprintf "reusable: index %d" i) 1 h)
+        again)
+
+let handle_shutdown_is_final_and_idempotent () =
+  let p = Engine.Pool.create ~domains:3 () in
+  Engine.Pool.exec p ignore;
+  Engine.Pool.shutdown p;
+  Engine.Pool.shutdown p;
+  Alcotest.check_raises "exec after shutdown"
+    (Invalid_argument "Pool.exec: pool is shut down") (fun () ->
+      Engine.Pool.exec p ignore)
+
+(* ------------------------------------------------------------------ *)
 (* Engine.map: order, determinism, isolation, retries                  *)
 
 let outcome_int =
@@ -199,6 +259,20 @@ let batch_parallel_equals_sequential () =
   Alcotest.(check string)
     "byte-identical aggregate signature at 1 vs 4 domains"
     (Engine.signature r1) (Engine.signature r4);
+  (* the same batch through a resident pool handle: byte-identical too,
+     twice in a row through the same warm domains *)
+  let p = Engine.Pool.create ~domains:4 () in
+  Fun.protect
+    ~finally:(fun () -> Engine.Pool.shutdown p)
+    (fun () ->
+      let rp = Engine.optimize ~pool:p ~chunk:1 ~algorithm:Bufins.Buffopt.Buffopt ~lib jobs in
+      Alcotest.(check string)
+        "byte-identical through the resident pool"
+        (Engine.signature r1) (Engine.signature rp);
+      let rp2 = Engine.optimize ~pool:p ~algorithm:Bufins.Buffopt.Buffopt ~lib jobs in
+      Alcotest.(check string)
+        "and again through the same warm handle"
+        (Engine.signature r1) (Engine.signature rp2));
   Alcotest.(check int) "ok" r1.Engine.ok r4.Engine.ok;
   Alcotest.(check int) "buffers" r1.Engine.buffers r4.Engine.buffers;
   Array.iteri
@@ -306,6 +380,11 @@ let suites =
         case "pool: randomized coverage property" pool_coverage_property;
         case "pool: exception still joins all helpers" pool_exception_joins_all;
         case "pool: cost sharding balances queues" pool_cost_sharding_balances;
+        case "pool handle: exec covers every worker, regions reusable"
+          handle_exec_covers_every_worker;
+        case "pool handle: run caps workers at pool size" handle_caps_run_workers;
+        case "pool handle: shutdown idempotent, exec then raises"
+          handle_shutdown_is_final_and_idempotent;
         case "map: order-preserving, 1 = 4 domains" map_is_order_preserving;
         case "map: poisoned elements fail alone" map_isolates_failures;
         case "map: retry knob" map_retries_flaky_jobs;

@@ -315,11 +315,50 @@ let candidate_tests =
         && Bufins.Trace.sizes arena h = sizes);
   ]
 
+let clock_tests =
+  [
+    case "now is non-decreasing within a domain" (fun () ->
+        let last = ref (Util.Clock.now ()) in
+        for _ = 1 to 50_000 do
+          let t = Util.Clock.now () in
+          Alcotest.(check bool) "monotone" true (t >= !last);
+          last := t
+        done);
+    case "timed elapses non-negatively" (fun () ->
+        let v, dt = Util.Clock.timed (fun () -> 42) in
+        Alcotest.(check int) "value" 42 v;
+        Alcotest.(check bool) "elapsed >= 0" true (dt >= 0.0));
+    case "concurrent domains each see a monotone clock" (fun () ->
+        (* the high-water mark is Domain.DLS-local: workers hammering
+           [now] concurrently must each observe a non-decreasing stream,
+           with no cross-domain interference through a shared mark *)
+        let ok = Array.init 4 (fun _ -> Atomic.make true) in
+        let sample slot =
+          let last = ref neg_infinity in
+          for _ = 1 to 20_000 do
+            let t = Util.Clock.now () in
+            if t < !last then Atomic.set ok.(slot) false;
+            last := t
+          done
+        in
+        let helpers =
+          List.init 3 (fun i -> Domain.spawn (fun () -> sample (i + 1)))
+        in
+        sample 0;
+        List.iter Domain.join helpers;
+        Array.iteri
+          (fun i o ->
+            Alcotest.(check bool) (Printf.sprintf "domain %d monotone" i) true
+              (Atomic.get o))
+          ok);
+  ]
+
 let suites =
   [
     ("util.rng", rng_tests);
     ("util.stats", stats_tests);
     ("util.fx", fx_tests);
     ("util.ftab", ftab_tests);
+    ("util.clock", clock_tests);
     ("bufins.candidate", candidate_tests);
   ]
