@@ -1,0 +1,91 @@
+(* Ingest front-end throughput bench: BLIF parse + elaborate scaling
+   with design size, emitting BENCH_ingest.json.
+
+     dune exec bench/ingest_scaling.exe             # full run: 120/480/1920 gates
+     dune exec bench/ingest_scaling.exe -- --smoke  # CI smoke: 120/480 gates
+
+   Each row round-trips a generated design: render to BLIF text, then
+   repeatedly parse (Blif.of_string) and elaborate (Elab.design_of_blif)
+   from the text, reporting wall seconds, gates/s and parsed MB/s. The
+   bench asserts the front end's determinism contract on every size —
+   two independent parse+elaborate runs must produce byte-identical
+   Netfmt renderings — and exits nonzero if it does not hold. *)
+
+let reps = 5
+
+type row = {
+  gates : int;
+  bytes : int;
+  nets : int;
+  parse_s : float;
+  elab_s : float;
+}
+
+let json_of_row r =
+  let per t = float_of_int (r.gates * reps) /. t in
+  Printf.sprintf
+    "    {\"gates\": %d, \"blif_bytes\": %d, \"nets\": %d, \"reps\": %d, \
+     \"parse_seconds\": %.6f, \"elab_seconds\": %.6f, \"parse_mb_per_s\": %.2f, \
+     \"parse_gates_per_s\": %.0f, \"elab_gates_per_s\": %.0f}"
+    r.gates r.bytes r.nets reps r.parse_s r.elab_s
+    (float_of_int (r.bytes * reps) /. r.parse_s /. 1e6)
+    (per r.parse_s) (per r.elab_s)
+
+let bench gates =
+  let design =
+    Sta.Gen.random { Sta.Gen.default_config with Sta.Gen.gates; seed = 20_26 }
+  in
+  let text = Ingest.Blif.to_string (Ingest.Elab.blif_of_design design) in
+  let once () =
+    Sta.Netfmt.to_string
+      (fst (Ingest.Elab.design_of_blif (Ingest.Blif.of_string text)))
+  in
+  if once () <> once () then begin
+    Printf.eprintf "FAIL: elaboration of %d gates is not deterministic\n" gates;
+    exit 1
+  end;
+  let timed f =
+    let t0 = Util.Clock.now () in
+    for _ = 1 to reps do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    Util.Clock.now () -. t0
+  in
+  let parse_s = timed (fun () -> Ingest.Blif.of_string text) in
+  let ast = Ingest.Blif.of_string text in
+  let elab_s = timed (fun () -> Ingest.Elab.design_of_blif ast) in
+  let elaborated, _ = Ingest.Elab.design_of_blif ast in
+  let r =
+    {
+      gates;
+      bytes = String.length text;
+      nets = Array.length elaborated.Sta.Design.nets;
+      parse_s;
+      elab_s;
+    }
+  in
+  Printf.printf "%d gates (%d nets, %d KB): parse %.1f ms, elaborate %.1f ms (x%d)\n%!"
+    gates r.nets (r.bytes / 1024) (parse_s *. 1e3) (elab_s *. 1e3) reps;
+  r
+
+let () =
+  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  let out_path =
+    let rec find i =
+      if i >= Array.length Sys.argv - 1 then "BENCH_ingest.json"
+      else if Sys.argv.(i) = "-o" then Sys.argv.(i + 1)
+      else find (i + 1)
+    in
+    find 1
+  in
+  let sizes = if smoke then [ 120; 480 ] else [ 120; 480; 1920 ] in
+  let rows = List.map bench sizes in
+  let oc = open_out out_path in
+  Printf.fprintf oc
+    "{\n  \"smoke\": %b,\n  \"units\": \"wall-clock seconds (Util.Clock)\",\n  \
+     \"determinism\": \"asserted: parse+elaborate twice -> byte-identical designs\",\n  \
+     \"rows\": [\n%s\n  ]\n}\n"
+    smoke
+    (String.concat ",\n" (List.map json_of_row rows));
+  close_out oc;
+  Printf.printf "wrote %s\n" out_path

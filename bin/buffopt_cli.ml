@@ -108,28 +108,29 @@ let dot_cmd file out optimize =
   | None -> print_string (Rctree.Dot.render ~name:net.Steiner.Net.nname tree));
   0
 
-let batch_cmd file algo seg_um kmax jobs retries =
+(* the front end: .blif or .design input, optional .lib cell/buffer
+   libraries, one warning line when the readers skipped anything *)
+let load_design file cells liberty =
+  let options =
+    match cells with
+    | Some c -> { Ingest.Elab.default_options with Ingest.Elab.cells = Sta.Cellfile.read c }
+    | None -> Ingest.Elab.default_options
+  in
+  let design, buffers, warnings = Ingest.Elab.load ~options ?liberty file in
+  if warnings > 0 then Printf.eprintf "front-end: %d warning(s)\n" warnings;
+  Printf.printf "design: %s\n" (Sta.Design.stats design);
+  (design, buffers)
+
+let batch_cmd file algo seg_um kmax jobs retries liberty =
   match algo_of_string algo with
   | Error (`Msg m) ->
       prerr_endline m;
       1
   | Ok algorithm ->
-      let design = Sta.Netfmt.read file in
-      Printf.printf "design: %s\n" (Sta.Design.stats design);
+      let design, lib = load_design file None liberty in
       (* one STA pass supplies every net's RATs measured from its driving
          pin — the same derivation the full flow uses per round *)
-      let sta = Sta.Engine.analyze process design in
-      let jobs_list =
-        List.init (Array.length sta.Sta.Engine.nets) (fun nid ->
-            let nt = sta.Sta.Engine.nets.(nid) in
-            let rats =
-              Array.map
-                (fun (_, r) -> r -. nt.Sta.Engine.source_arrival)
-                nt.Sta.Engine.sink_required
-            in
-            let snet = Sta.Engine.net_to_steiner ~rats design nid in
-            (snet, Steiner.Build.tree_of_net process snet))
-      in
+      let jobs_list = Sta.Engine.batch_jobs process design in
       let domains = if jobs <= 0 then Engine.Pool.default_domains () else jobs in
       let r =
         Engine.optimize ~domains ~retries ~seg_len:(seg_um *. 1e-6) ~kmax ~algorithm ~lib
@@ -142,10 +143,8 @@ let batch_cmd file algo seg_um kmax jobs retries =
           List.iter (Printf.eprintf "infeasible net: %s\n") bad;
           1)
 
-let flow_cmd file iterations cells =
-  let cells = Option.map Sta.Cellfile.read cells in
-  let design = Sta.Netfmt.read ?cells file in
-  Printf.printf "design: %s\n" (Sta.Design.stats design);
+let flow_cmd file iterations cells liberty =
+  let design, lib = load_design file cells liberty in
   let r = Sta.Flow.optimize ~iterations process ~lib design in
   print_endline (Sta.Flow.summary r);
   if r.Sta.Flow.after.Sta.Engine.noisy_nets > 0 || r.Sta.Flow.after.Sta.Engine.wns < 0.0 then 1
@@ -154,8 +153,21 @@ let flow_cmd file iterations cells =
 let gen_design_cmd gates seed out =
   let design = Sta.Gen.random { Sta.Gen.default_config with Sta.Gen.gates; seed } in
   (match out with
+  | Some path when Filename.check_suffix path ".blif" ->
+      Ingest.Blif.write path (Ingest.Elab.blif_of_design design)
   | Some path -> Sta.Netfmt.write path design
   | None -> print_string (Sta.Netfmt.to_string design));
+  0
+
+let gen_lib_cmd out =
+  let text =
+    Ingest.Liberty.to_string ~name:"buffopt" ~buffers:Tech.Lib.default_library Sta.Cell.library
+  in
+  (match out with
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
+  | None -> print_string text);
   0
 
 let sample_cmd () =
@@ -235,12 +247,23 @@ let mutation_of_string = function
         ("bad mutation (want cq-noise-prune, no-attach-guard, loose-pred-bound or \
           stale-memo): " ^ s)
 
-let fuzz_cmd seed count jobs minutes corpus mutate replay_path =
-  match mutation_of_string mutate with
-  | Error m ->
+let oracle_of_string = function
+  | None -> Ok None
+  | Some s -> (
+      match Check.Instance.oracle_of_name s with
+      | Some o -> Ok (Some o)
+      | None ->
+          Error
+            (Printf.sprintf "bad oracle %s (want one of: %s)" s
+               (String.concat ", "
+                  (List.map Check.Instance.oracle_name Check.Instance.all_oracles))))
+
+let fuzz_cmd seed count jobs minutes corpus mutate oracle replay_path =
+  match (mutation_of_string mutate, oracle_of_string oracle) with
+  | Error m, _ | _, Error m ->
       prerr_endline m;
       1
-  | Ok mutation -> (
+  | Ok mutation, Ok oracle -> (
       match replay_path with
       | Some path ->
           let results = Check.Fuzz.replay ?mutation path in
@@ -258,7 +281,8 @@ let fuzz_cmd seed count jobs minutes corpus mutate replay_path =
           if !bad > 0 then 1 else 0
       | None ->
           let r =
-            Check.Fuzz.campaign ?mutation ~jobs ~minutes ?corpus_dir:corpus ~seed ~count ()
+            Check.Fuzz.campaign ?mutation ?oracle ~jobs ~minutes ?corpus_dir:corpus
+              ~seed ~count ()
           in
           print_endline (Check.Fuzz.summary r);
           (* a failure's minimized repro goes to stdout so a report needs
@@ -303,6 +327,13 @@ let retries_arg =
     & opt int 0
     & info [ "retries" ] ~docv:"R" ~doc:"Re-runs of a net whose optimization raised.")
 
+let liberty_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "liberty" ] ~docv:"FILE"
+        ~doc:"Liberty-subset library supplying gate cells and the buffer library.")
+
 let () =
   let run =
     Cmd.v
@@ -332,9 +363,11 @@ let () =
     Cmd.v
       (Cmd.info "batch"
          ~doc:
-           "Optimize every net of a design file on a domain pool (see buffopt gen-design). \
-            Exits nonzero when any net is infeasible, naming it on stderr.")
-      Term.(const batch_cmd $ file_arg $ algo_arg $ seg_arg $ kmax_arg $ jobs_arg $ retries_arg)
+           "Optimize every net of a design (.design or .blif, see buffopt gen-design) on a \
+            domain pool. Exits nonzero when any net is infeasible, naming it on stderr.")
+      Term.(
+        const batch_cmd $ file_arg $ algo_arg $ seg_arg $ kmax_arg $ jobs_arg $ retries_arg
+        $ liberty_arg)
   in
   let flow =
     let iters =
@@ -348,8 +381,10 @@ let () =
     in
     Cmd.v
       (Cmd.info "flow"
-         ~doc:"Run the STA-driven whole-design flow on a design file (see buffopt gen-design).")
-      Term.(const flow_cmd $ file_arg $ iters $ cells)
+         ~doc:
+           "Run the STA-driven whole-design flow on a design file or BLIF netlist (see \
+            buffopt gen-design).")
+      Term.(const flow_cmd $ file_arg $ iters $ cells $ liberty_arg)
   in
   let fuzz =
     let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Campaign master seed.") in
@@ -380,6 +415,15 @@ let () =
                no-attach-guard, loose-pred-bound or stale-memo); the campaign is \
                expected to fail.")
     in
+    let oracle =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "oracle" ] ~docv:"NAME"
+            ~doc:
+              "Pin every instance to one oracle (e.g. parser, dp-invariants) instead \
+               of drawing uniformly over all of them.")
+    in
     let replay =
       Arg.(
         value
@@ -396,7 +440,8 @@ let () =
             against brute force and each other on a domain pool; failures are shrunk \
             to minimal counterexamples and printed (and saved with --corpus).")
       Term.(
-        const fuzz_cmd $ seed $ count $ jobs_arg $ minutes $ corpus $ mutate $ replay)
+        const fuzz_cmd $ seed $ count $ jobs_arg $ minutes $ corpus $ mutate $ oracle
+        $ replay)
   in
   let gen_design =
     let gates = Arg.(value & opt int 120 & info [ "gates" ] ~docv:"N" ~doc:"Gate count.") in
@@ -405,8 +450,20 @@ let () =
       Arg.(value & opt (some string) None & info [ "o" ] ~docv:"FILE" ~doc:"Output path.")
     in
     Cmd.v
-      (Cmd.info "gen-design" ~doc:"Emit a random design file for the flow.")
+      (Cmd.info "gen-design"
+         ~doc:"Emit a random design for the flow (.blif output path emits BLIF).")
       Term.(const gen_design_cmd $ gates $ seed $ out)
+  in
+  let gen_lib =
+    let out =
+      Arg.(value & opt (some string) None & info [ "o" ] ~docv:"FILE" ~doc:"Output path.")
+    in
+    Cmd.v
+      (Cmd.info "gen-lib"
+         ~doc:
+           "Emit the built-in gate cells and buffer library as a Liberty-subset file \
+            (for buffopt batch/flow --liberty).")
+      Term.(const gen_lib_cmd $ out)
   in
   let socket_arg =
     Arg.(
@@ -454,4 +511,4 @@ let () =
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "buffopt" ~doc:"Buffer insertion for noise and delay optimization.")
-          [ run; report; sample; dot; batch; flow; fuzz; gen_design; serve; client ]))
+          [ run; report; sample; dot; batch; flow; fuzz; gen_design; gen_lib; serve; client ]))

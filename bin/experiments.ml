@@ -722,6 +722,20 @@ let all bench =
   ext_extract ();
   fig_metal ()
 
+(* Tables I-IV on a real-format netlist (the ingest front end) instead
+   of the synthetic workload. *)
+let blif_cmd path liberty jobs =
+  let design, _buffers, warnings = Ingest.Elab.load ?liberty path in
+  if warnings > 0 then Printf.printf "front-end: %d warning(s)\n" warnings;
+  Printf.printf "design: %s\n" (Sta.Design.stats design);
+  let nets = Sta.Engine.batch_jobs process design in
+  let jobs = if jobs <= 0 then Engine.Pool.default_domains () else jobs in
+  let bench = { nets; cfg = Workload.default_config; jobs } in
+  table1 bench;
+  table2 bench;
+  table3 bench;
+  table4 bench
+
 let () =
   let cmds =
     [
@@ -742,6 +756,16 @@ let () =
       cmd0 "ext-extract" "Routed-bus coupling extraction vs pitch." ext_extract;
       cmd0 "fig-metal" "Aluminum vs copper wiring corner." fig_metal;
       cmd "all" "Run every experiment." all;
+      (let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"DESIGN") in
+       let liberty =
+         Arg.(
+           value
+           & opt (some file) None
+           & info [ "liberty" ] ~docv:"FILE" ~doc:"Liberty-subset cell library.")
+       in
+       Cmd.v
+         (Cmd.info "blif" ~doc:"Tables I-IV on a real netlist (.blif or .design).")
+         Term.(const blif_cmd $ path $ liberty $ jobs_arg));
     ]
   in
   exit (Cmd.eval (Cmd.group (Cmd.info "experiments" ~doc:"Reproduce the paper's evaluation.") cmds))

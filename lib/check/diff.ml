@@ -481,6 +481,144 @@ let incremental_vs_scratch ?mutation (inst : Instance.t) =
   done;
   Pass
 
+(* {2 Parser round-trip oracle}
+
+   No optimizer runs here: the system under test is the ingest front
+   end. The instance contributes only entropy — a seed hashed from its
+   content — so a corpus entry replays the exact same designs,
+   libraries and text mutations. *)
+
+let content_seed (inst : Instance.t) =
+  (* FNV-1a over the fields that define the instance *)
+  let tree = inst.Instance.tree in
+  let h = ref 0xcbf29ce484222325L in
+  let mix64 b = h := Int64.mul (Int64.logxor !h b) 0x100000001b3L in
+  let mixi i = mix64 (Int64.of_int i) in
+  let mixf f = mix64 (Int64.bits_of_float f) in
+  mixi (T.node_count tree);
+  List.iter
+    (fun v ->
+      mixi v;
+      if v <> T.root tree then begin
+        let w = T.wire_to tree v in
+        mixf w.T.length;
+        mixf w.T.res;
+        mixf w.T.cap
+      end;
+      match T.kind tree v with
+      | T.Sink s ->
+          mixf s.T.rat;
+          mixf s.T.c_sink;
+          mixf s.T.nm
+      | T.Source _ | T.Internal | T.Buffered _ -> ())
+    (T.postorder tree);
+  List.iter (fun (b : Tech.Buffer.t) -> mixf b.Tech.Buffer.c_in) inst.Instance.lib;
+  mixf inst.Instance.seg_len;
+  Int64.to_int (Int64.shift_right_logical !h 2)
+
+(* One deterministic adversarial edit of a rendered file. *)
+let mutate_text rng s =
+  let n = String.length s in
+  match Util.Rng.int rng 4 with
+  | 0 -> String.sub s 0 (Util.Rng.int rng (n + 1))
+  | 1 ->
+      let p = Util.Rng.int rng (n + 1) in
+      String.sub s 0 p ^ "\x01 ~junk 1e999 ( .model (" ^ String.sub s p (n - p)
+  | 2 ->
+      let lines = String.split_on_char '\n' s in
+      let k = Util.Rng.int rng (List.length lines) in
+      let dup = List.nth lines k in
+      String.concat "\n"
+        (List.concat (List.mapi (fun i l -> if i = k then [ l; dup ] else [ l ]) lines))
+  | _ ->
+      let p = Util.Rng.int rng (n + 1) in
+      let len = min (n - p) (Util.Rng.int rng 64) in
+      String.sub s 0 p ^ String.sub s (p + len) (n - p - len)
+
+let located ~path m =
+  let p = path ^ ":" in
+  String.length m >= String.length p && String.sub m 0 (String.length p) = p
+
+(* Feed [rounds] mutants of [text] to [parse] (which returns [Some msg]
+   for the parser's own located error, [None] for a clean parse, and
+   lets anything else escape). Every mutant must land in one of the
+   first two buckets, with the error anchored at [path]. *)
+let battery rng ~what ~path ~rounds parse text =
+  for _ = 1 to rounds do
+    let mutant = mutate_text rng text in
+    match parse mutant with
+    | None -> ()
+    | Some m ->
+        if not (located ~path m) then
+          failf "%s: parse error not located at %s: %s" what path m
+    | exception e -> failf "%s: parser escaped with %s" what (Printexc.to_string e)
+  done
+
+let parser_roundtrip ?mutation (inst : Instance.t) =
+  match mutation with
+  | Some _ -> Skip "parser oracle: no DP engine under test"
+  | None ->
+      let rng = Util.Rng.create (content_seed inst) in
+      (* netfmt: rendering is a fixpoint through of_string *)
+      let design = Gen.random_design rng in
+      let ntext = Sta.Netfmt.to_string design in
+      let ntext' = Sta.Netfmt.to_string (Sta.Netfmt.of_string ntext) in
+      if ntext' <> ntext then failf "netfmt round-trip is not a fixpoint";
+      (* cellfile: arbitrary doubles survive bit-identically *)
+      let cells = Gen.random_cells rng in
+      let ctext = Sta.Cellfile.to_string cells in
+      if Sta.Cellfile.of_string ctext <> cells then
+        failf "cellfile round-trip changed the library";
+      (* liberty: buffers exact, cells a prefix, nothing warned about *)
+      let buffers = Gen.random_buffers rng in
+      let ltext = Ingest.Liberty.to_string ~name:"fuzz" ~buffers cells in
+      let lib = Ingest.Liberty.of_string ltext in
+      if lib.Ingest.Liberty.buffers <> buffers then
+        failf "liberty round-trip changed the buffer library";
+      let prefix =
+        List.filteri (fun i _ -> i < List.length cells) lib.Ingest.Liberty.cells
+      in
+      if prefix <> cells then failf "liberty round-trip changed the cells";
+      if lib.Ingest.Liberty.warnings <> 0 then
+        failf "liberty round-trip warned %d times on its own output"
+          lib.Ingest.Liberty.warnings;
+      (* blif: text fixpoint, and re-elaboration is deterministic *)
+      let blif = Ingest.Elab.blif_of_design design in
+      let btext = Ingest.Blif.to_string blif in
+      let blif' = Ingest.Blif.of_string btext in
+      if Ingest.Blif.to_string blif' <> btext then
+        failf "blif round-trip is not a fixpoint";
+      let elab b = Sta.Netfmt.to_string (fst (Ingest.Elab.design_of_blif b)) in
+      if elab blif <> elab blif' then
+        failf "blif round-trip changed the elaborated design";
+      (* malformed-input battery over every rendered format *)
+      battery rng ~what:"netfmt" ~path:"f.net" ~rounds:8
+        (fun s ->
+          match Sta.Netfmt.of_string ~path:"f.net" s with
+          | _ -> None
+          | exception Sta.Netfmt.Parse m -> Some m)
+        ntext;
+      battery rng ~what:"cellfile" ~path:"f.cells" ~rounds:8
+        (fun s ->
+          match Sta.Cellfile.of_string ~path:"f.cells" s with
+          | _ -> None
+          | exception Sta.Cellfile.Parse m -> Some m)
+        ctext;
+      battery rng ~what:"liberty" ~path:"f.lib" ~rounds:8
+        (fun s ->
+          match Ingest.Liberty.of_string ~path:"f.lib" s with
+          | _ -> None
+          | exception Ingest.Liberty.Parse m -> Some m)
+        ltext;
+      battery rng ~what:"blif" ~path:"f.blif" ~rounds:8
+        (fun s ->
+          match Ingest.Elab.design_of_blif (Ingest.Blif.of_string ~path:"f.blif" s) with
+          | _ -> None
+          | exception Ingest.Blif.Parse m -> Some m
+          | exception Ingest.Elab.Error m -> Some m)
+        btext;
+      Pass
+
 let run ?mutation (inst : Instance.t) =
   let tag v =
     match v with
@@ -498,6 +636,7 @@ let run ?mutation (inst : Instance.t) =
     | Instance.Dp_trace -> dp_trace ?mutation inst
     | Instance.Pred_vs_sweep -> pred_vs_sweep ?mutation inst
     | Instance.Incremental_vs_scratch -> incremental_vs_scratch ?mutation inst
+    | Instance.Parser_roundtrip -> parser_roundtrip ?mutation inst
   with
   | v -> tag v
   | exception Failed m -> tag (Fail m)

@@ -19,10 +19,14 @@ type report = {
   sched : Engine.Pool.stats;
 }
 
-let instance_of_seed seed = Gen.instance (Util.Rng.create seed)
+let instance_of_seed ?oracle seed =
+  let rng = Util.Rng.create seed in
+  match oracle with
+  | Some o -> Gen.instance_for o rng
+  | None -> Gen.instance rng
 
-let campaign ?mutation ?(jobs = 0) ?(minutes = 0.) ?corpus_dir ?max_shrink_evals ~seed
-    ~count () =
+let campaign ?mutation ?oracle ?(jobs = 0) ?(minutes = 0.) ?corpus_dir
+    ?max_shrink_evals ~seed ~count () =
   let jobs = if jobs <= 0 then Engine.Pool.default_domains () else jobs in
   (* one positive seed per instance, all derived from the master seed up
      front: the instance stream does not depend on the job count *)
@@ -48,7 +52,7 @@ let campaign ?mutation ?(jobs = 0) ?(minutes = 0.) ?corpus_dir ?max_shrink_evals
         in
         if not expired then begin
           (* Diff.run and Gen never raise, as Pool bodies must not *)
-          match instance_of_seed seeds.(i) with
+          match instance_of_seed ?oracle seeds.(i) with
           | inst -> acc := (i, (inst, Diff.run ?mutation inst)) :: !acc
           | exception e ->
               let inst = Gen.instance_for Instance.Dp_invariants (Util.Rng.create 0) in

@@ -34,6 +34,7 @@ type report = {
 
 val campaign :
   ?mutation:Bufins.Dp.mutation ->
+  ?oracle:Instance.oracle ->
   ?jobs:int ->
   ?minutes:float ->
   ?corpus_dir:string ->
@@ -43,7 +44,9 @@ val campaign :
   unit ->
   report
 (** [jobs <= 0] (the default) uses {!Engine.Pool.default_domains};
-    [minutes <= 0.] (the default) means no time budget. *)
+    [minutes <= 0.] (the default) means no time budget. [oracle] pins
+    every instance to one oracle (CLI [fuzz --oracle]) instead of the
+    default uniform draw over {!Instance.all_oracles}. *)
 
 val replay :
   ?mutation:Bufins.Dp.mutation -> string -> (string * Diff.verdict) list

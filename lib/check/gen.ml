@@ -67,6 +67,46 @@ let segment_for_brute tree =
 
 let random_net rng = Fixtures.random_net rng process ~max_sinks:5 ~max_len:5e-3
 
+(* {1 Front-end fodder: random designs and libraries}
+
+   These feed the parser round-trip oracle, so the float fields are
+   arbitrary doubles on purpose: the writers promise bit-identical
+   round-trips through [Util.Fx], not just for pretty values. *)
+
+let random_cells rng =
+  let n = 3 + Util.Rng.int rng 6 in
+  List.init n (fun i ->
+      {
+        Sta.Cell.cname = Printf.sprintf "c%d_x%d" i (1 + Util.Rng.int rng 8);
+        n_inputs = 1 + Util.Rng.int rng 3;
+        c_in = Util.Rng.range rng 1e-15 25e-15;
+        r_out = Util.Rng.range rng 200.0 9000.0;
+        d_intr = Util.Rng.range rng 10e-12 400e-12;
+        nm = Util.Rng.range rng 0.3 1.2;
+      })
+
+let random_buffers rng =
+  let n = 2 + Util.Rng.int rng 4 in
+  List.init n (fun i ->
+      Tech.Buffer.make
+        ~name:(Printf.sprintf "rb%d" i)
+        ~inverting:(Util.Rng.bool rng)
+        ~c_in:(Util.Rng.range rng 1e-15 10e-15)
+        ~r_b:(Util.Rng.range rng 80.0 800.0)
+        ~d_b:(Util.Rng.range rng 5e-12 60e-12)
+        ~nm:(Util.Rng.range rng 0.3 1.0))
+
+let random_design rng =
+  let cfg =
+    {
+      Sta.Gen.default_config with
+      Sta.Gen.gates = 5 + Util.Rng.int rng 30;
+      pis = 3 + Util.Rng.int rng 6;
+      seed = Util.Rng.int rng 1_000_000;
+    }
+  in
+  Sta.Gen.random cfg
+
 let instance_for oracle rng =
   match oracle with
   | Instance.Vangin_vs_brute ->
@@ -96,6 +136,12 @@ let instance_for oracle rng =
       Instance.make ~tree:(random_net rng) ~lib:Tech.Lib.default_library ~seg_len:500e-6
         oracle
   | Instance.Incremental_vs_scratch ->
+      Instance.make ~tree:(random_net rng) ~lib:Tech.Lib.default_library ~seg_len:500e-6
+        oracle
+  | Instance.Parser_roundtrip ->
+      (* the tree is only entropy: the oracle derives its designs and
+         libraries from the instance's content (Diff), so any valid
+         instance works — and corpus replay stays meaningful *)
       Instance.make ~tree:(random_net rng) ~lib:Tech.Lib.default_library ~seg_len:500e-6
         oracle
 

@@ -50,6 +50,22 @@ val segment_for_brute : Rctree.Tree.t -> Rctree.Tree.t option
 (** Coarse segmenting (1.5 mm) that keeps brute-force enumeration
     tractable; [None] when more than 9 feasible nodes result. *)
 
+(** {1 Front-end fodder}
+
+    Random inputs for the parser round-trip oracle. Float fields are
+    arbitrary doubles: the file formats promise bit-identical
+    round-trips for {e any} finite value, not just round ones. *)
+
+val random_cells : Util.Rng.t -> Sta.Cell.t list
+(** 3-8 gate cells with 1-3 inputs and arbitrary electricals. *)
+
+val random_buffers : Util.Rng.t -> Tech.Buffer.t list
+(** 2-5 buffers, mixed polarity, arbitrary electricals. *)
+
+val random_design : Util.Rng.t -> Sta.Design.t
+(** A small {!Sta.Gen.random} design (5-34 gates) under a random
+    seed — always validated. *)
+
 (** {1 Instances} *)
 
 val instance : Util.Rng.t -> Instance.t

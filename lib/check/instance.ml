@@ -10,6 +10,7 @@ type oracle =
   | Dp_trace
   | Pred_vs_sweep
   | Incremental_vs_scratch
+  | Parser_roundtrip
 
 let all_oracles =
   [
@@ -22,6 +23,7 @@ let all_oracles =
     Dp_trace;
     Pred_vs_sweep;
     Incremental_vs_scratch;
+    Parser_roundtrip;
   ]
 
 let oracle_name = function
@@ -34,6 +36,7 @@ let oracle_name = function
   | Dp_trace -> "dp-trace"
   | Pred_vs_sweep -> "pred-vs-sweep"
   | Incremental_vs_scratch -> "incremental-vs-scratch"
+  | Parser_roundtrip -> "parser"
 
 let oracle_of_name s = List.find_opt (fun o -> oracle_name o = s) all_oracles
 

@@ -44,6 +44,17 @@ type oracle =
           and in both delay and noise modes, exactly the outcome of a
           fresh scratch run: same feasibility, bit-equal slack,
           identical placements and wire sizes *)
+  | Parser_roundtrip
+      (** the ingest front end survives adversarial text: random
+          designs and libraries round-trip through {!Sta.Netfmt},
+          {!Sta.Cellfile}, {!Ingest.Liberty} and {!Ingest.Blif}
+          bit-identically, and deterministic mutations of the rendered
+          texts (truncations, junk insertions, duplicated lines,
+          deleted spans) always parse to [Ok] or a located [Parse] /
+          [Error] naming the file — never another exception. The
+          random inputs are seeded from the instance's content, so a
+          corpus entry replays the same battery. DP [mutation]
+          campaigns skip this oracle: there is no engine under test. *)
 
 val all_oracles : oracle list
 

@@ -7,6 +7,7 @@
 
 type request =
   | Load of { nets : int; seed : int }
+  | Load_design of { path : string }
   | Optimize of { net : int }
   | Update_rat of { net : int; sink : int; ps : float }
   | Update_wire of { net : int; node : int; scale : float }
@@ -18,6 +19,7 @@ let max_line = 1024
 
 let render = function
   | Load { nets; seed } -> Printf.sprintf "load workload %d %d" nets seed
+  | Load_design { path } -> Printf.sprintf "load design %s" path
   | Optimize { net } -> Printf.sprintf "optimize %d" net
   | Update_rat { net; sink; ps } ->
       Printf.sprintf "update-rat %d %d %.17g" net sink ps
@@ -63,7 +65,8 @@ let parse line =
             let* seed = int_arg "seed" s in
             if nets < 1 then Error "bad net count: must be >= 1"
             else Ok (Load { nets; seed })
-        | "load", _ -> Error "usage: load workload <nets> <seed>"
+        | "load", [ "design"; path ] -> Ok (Load_design { path })
+        | "load", _ -> Error "usage: load workload <nets> <seed> | load design <path>"
         | "optimize", [ n ] ->
             let* net = int_arg "net id" n in
             Ok (Optimize { net })

@@ -14,6 +14,11 @@ type request =
   | Load of { nets : int; seed : int }
       (** [load workload <nets> <seed>]: generate and load a
           {!Workload} design — deterministic in [seed]. *)
+  | Load_design of { path : string }
+      (** [load design <path>]: load a design file from the server's
+          filesystem, dispatching on extension ([.blif] through the
+          ingest front end, anything else through {!Sta.Netfmt}).
+          Paths with spaces are not representable in the grammar. *)
   | Optimize of { net : int }  (** [optimize <net>] *)
   | Update_rat of { net : int; sink : int; ps : float }
       (** [update-rat <net> <sink> <ps>]: set the [sink]-th sink's

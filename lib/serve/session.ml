@@ -71,7 +71,8 @@ type reply = { line : string; ok : bool; shutdown : bool }
 let errf fmt = Printf.ksprintf (fun m -> Error m) fmt
 
 let net_of t i =
-  if Array.length t.nets = 0 then Error "no design loaded (use: load workload <nets> <seed>)"
+  if Array.length t.nets = 0 then
+    Error "no design loaded (use: load workload <nets> <seed> | load design <path>)"
   else if i < 0 || i >= Array.length t.nets then
     errf "net id %d out of range (0..%d)" i (Array.length t.nets - 1)
   else Ok t.nets.(i)
@@ -86,9 +87,9 @@ let fingerprint t (ns : net_state) =
           (ns.tree, t.opts.algorithm, t.opts.lib, t.opts.kmax)
           []))
 
-let do_load t ~nets ~seed =
-  let cfg = { Workload.default_config with Workload.nets; seed } in
-  let jobs = Workload.trees t.opts.process (Workload.generate cfg) in
+(* Shared tail of every load verb: make the (net, tree) jobs resident
+   and run the warm pass, whatever produced them. *)
+let install t jobs =
   let states =
     List.map
       (fun ((net : Steiner.Net.t), tree) ->
@@ -131,6 +132,20 @@ let do_load t ~nets ~seed =
   Ok
     (Printf.sprintf "loaded nets=%d sinks=%d infeasible=%d"
        (Array.length t.nets) sinks !infeasible)
+
+let do_load t ~nets ~seed =
+  let cfg = { Workload.default_config with Workload.nets; seed } in
+  install t (Workload.trees t.opts.process (Workload.generate cfg))
+
+let do_load_design t ~path =
+  (* a bad path or malformed file is a protocol error, not a crash *)
+  match Ingest.Elab.load path with
+  | design, _buffers, _warnings -> install t (Sta.Engine.batch_jobs t.opts.process design)
+  | exception Ingest.Blif.Parse m -> Error m
+  | exception Ingest.Liberty.Parse m -> Error m
+  | exception Ingest.Elab.Error m -> Error m
+  | exception Sta.Netfmt.Parse m -> Error m
+  | exception Sys_error m -> Error m
 
 let do_optimize t i =
   let ( let* ) = Result.bind in
@@ -224,6 +239,7 @@ let handle t (req : Protocol.request) =
     Util.Clock.timed (fun () ->
         match req with
         | Protocol.Load { nets; seed } -> do_load t ~nets ~seed
+        | Protocol.Load_design { path } -> do_load_design t ~path
         | Protocol.Optimize { net } -> do_optimize t net
         | Protocol.Update_rat { net; sink; ps } -> do_update_rat t net sink ps
         | Protocol.Update_wire { net; node; scale } ->

@@ -1,62 +1,66 @@
 exception Parse of string
 
+let of_string ?(path = "<string>") text =
+  let cells = ref [] in
+  let names = Hashtbl.create 16 in
+  let lineno = ref 0 in
+  let fail fmt =
+    Printf.ksprintf (fun m -> raise (Parse (Printf.sprintf "%s:%d: %s" path !lineno m))) fmt
+  in
+  let num s = match float_of_string_opt s with Some x -> x | None -> fail "bad number %s" s in
+  let scaled exp10 s =
+    match Util.Fx.of_scaled ~exp10 s with Some x -> x | None -> fail "bad number %s" s
+  in
+  List.iter
+    (fun line ->
+      incr lineno;
+      let words = String.split_on_char ' ' (String.trim line) |> List.filter (fun s -> s <> "") in
+      match words with
+      | [] -> ()
+      | w :: _ when String.length w > 0 && w.[0] = '#' -> ()
+      | [ "cell"; name; inputs; c_in; r_out; d_intr; nm ] ->
+          if Hashtbl.mem names name then fail "duplicate cell %s" name;
+          Hashtbl.replace names name ();
+          let n_inputs =
+            match int_of_string_opt inputs with
+            | Some n when n >= 1 -> n
+            | Some _ | None -> fail "bad input count %s" inputs
+          in
+          let cell =
+            {
+              Cell.cname = name;
+              n_inputs;
+              c_in = scaled (-15) c_in;
+              r_out = num r_out;
+              d_intr = scaled (-12) d_intr;
+              nm = num nm;
+            }
+          in
+          if cell.Cell.c_in < 0.0 || cell.Cell.r_out <= 0.0 || cell.Cell.nm <= 0.0 then
+            fail "non-physical parameters for %s" name;
+          cells := cell :: !cells
+      | w :: _ -> fail "unknown directive %s" w)
+    (String.split_on_char '\n' text);
+  match List.rev !cells with
+  | [] -> raise (Parse (path ^ ": empty cell library"))
+  | cs -> cs
+
 let read path =
-  let ic = open_in path in
+  let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let cells = ref [] in
-      let names = Hashtbl.create 16 in
-      let lineno = ref 0 in
-      let fail fmt =
-        Printf.ksprintf (fun m -> raise (Parse (Printf.sprintf "%s:%d: %s" path !lineno m))) fmt
-      in
-      let num s = match float_of_string_opt s with Some x -> x | None -> fail "bad number %s" s in
-      (try
-         while true do
-           let line = input_line ic in
-           incr lineno;
-           let words =
-             String.split_on_char ' ' (String.trim line) |> List.filter (fun s -> s <> "")
-           in
-           match words with
-           | [] -> ()
-           | w :: _ when String.length w > 0 && w.[0] = '#' -> ()
-           | [ "cell"; name; inputs; c_in; r_out; d_intr; nm ] ->
-               if Hashtbl.mem names name then fail "duplicate cell %s" name;
-               Hashtbl.replace names name ();
-               let n_inputs =
-                 match int_of_string_opt inputs with
-                 | Some n when n >= 1 -> n
-                 | Some _ | None -> fail "bad input count %s" inputs
-               in
-               let cell =
-                 {
-                   Cell.cname = name;
-                   n_inputs;
-                   c_in = num c_in *. 1e-15;
-                   r_out = num r_out;
-                   d_intr = num d_intr *. 1e-12;
-                   nm = num nm;
-                 }
-               in
-               if cell.Cell.c_in < 0.0 || cell.Cell.r_out <= 0.0 || cell.Cell.nm <= 0.0 then
-                 fail "non-physical parameters for %s" name;
-               cells := cell :: !cells
-           | w :: _ -> fail "unknown directive %s" w
-         done
-       with End_of_file -> ());
-      match List.rev !cells with
-      | [] -> raise (Parse (path ^ ": empty cell library"))
-      | cs -> cs)
+    (fun () -> of_string ~path (really_input_string ic (in_channel_length ic)))
 
 let to_string cells =
   let buf = Buffer.create 256 in
   List.iter
     (fun (c : Cell.t) ->
       Buffer.add_string buf
-        (Printf.sprintf "cell %s %d %.6f %.4f %.6f %.4f\n" c.Cell.cname c.Cell.n_inputs
-           (c.Cell.c_in *. 1e15) c.Cell.r_out (c.Cell.d_intr *. 1e12) c.Cell.nm))
+        (Printf.sprintf "cell %s %d %s %s %s %s\n" c.Cell.cname c.Cell.n_inputs
+           (Util.Fx.to_scaled ~exp10:(-15) c.Cell.c_in)
+           (Util.Fx.repr c.Cell.r_out)
+           (Util.Fx.to_scaled ~exp10:(-12) c.Cell.d_intr)
+           (Util.Fx.repr c.Cell.nm)))
     cells;
   Buffer.contents buf
 

@@ -12,11 +12,16 @@
 exception Parse of string
 (** Carries ["file:line: message"]. *)
 
+val of_string : ?path:string -> string -> Cell.t list
+(** Parse a cell library from a string; raises {!Parse} on malformed
+    lines, duplicate names, or an empty library. [path] (default
+    ["<string>"]) labels {!Parse} locations. *)
+
 val read : string -> Cell.t list
-(** Parse a cell library; raises {!Parse} on malformed lines, duplicate
-    names, or an empty library. *)
+(** [of_string] over a file's contents. *)
 
 val to_string : Cell.t list -> string
-(** Render a library back to the format; round-trips through {!read}. *)
+(** Render a library back to the format; round-trips through {!read}
+    bit-identically (fF/ps fields via {!Util.Fx.to_scaled}). *)
 
 val write : string -> Cell.t list -> unit

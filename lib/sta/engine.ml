@@ -163,6 +163,14 @@ let analyze ?(trees = fun _ -> None) ?miller process (design : Design.t) =
     total_buffers = Array.fold_left (fun acc nt -> acc + T.buffer_count nt.tree) 0 nets;
   }
 
+let batch_jobs process (design : Design.t) =
+  let sta = analyze process design in
+  List.init (Array.length sta.nets) (fun nid ->
+      let nt = sta.nets.(nid) in
+      let rats = Array.map (fun (_, r) -> r -. nt.source_arrival) nt.sink_required in
+      let snet = net_to_steiner ~rats design nid in
+      (snet, Steiner.Build.tree_of_net process snet))
+
 let endpoint_slacks (design : Design.t) t =
   (* recover PO arrivals from the per-net reports *)
   Array.to_list

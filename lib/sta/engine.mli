@@ -47,5 +47,11 @@ val analyze :
     capacitance counts [miller] times for delay (see [Noise.miller];
     classical worst case 2.0); noise reporting is unaffected. *)
 
+val batch_jobs : Tech.Process.t -> Design.t -> (Steiner.Net.t * Rctree.Tree.t) list
+(** One optimization job per net of the design: a single STA pass
+    supplies every net's RATs measured from its driving pin, then each
+    net gets its placed view and fresh Steiner tree — the derivation
+    [buffopt batch] and the serve daemon share. *)
+
 val endpoint_slacks : Design.t -> t -> (string * float) list
 (** Slack per primary output. *)

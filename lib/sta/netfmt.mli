@@ -17,14 +17,20 @@
 exception Parse of string
 (** Carries ["file:line: message"]. *)
 
+val of_string : ?cells:Cell.t list -> ?path:string -> string -> Design.t
+(** Parse and validate a design from a string; raises {!Parse} on
+    syntax errors and on designs rejected by {!Design.validate}.
+    [cells] (default {!Cell.library}, e.g. from {!Cellfile.read})
+    resolves instance cell names; [path] (default ["<string>"]) labels
+    {!Parse} locations. *)
+
 val read : ?cells:Cell.t list -> string -> Design.t
-(** Parse and validate a design file; raises {!Parse} on syntax errors
-    and on designs rejected by {!Design.validate}. [cells] (default
-    {!Cell.library}, e.g. from {!Cellfile.read}) resolves instance cell
-    names. *)
+(** [of_string] over a file's contents. *)
 
 val write : string -> Design.t -> unit
-(** Render a design back to a file; [read] of the result reproduces an
-    equivalent design (round-trip tested). *)
+(** Render a design back to a file; [read] of the result reproduces the
+    design with bit-identical electricals — ps/fF fields go through
+    {!Util.Fx.to_scaled}, so no [*. 1e-12] double rounding on either
+    side (round-trip tested). *)
 
 val to_string : Design.t -> string

@@ -21,3 +21,43 @@ let si x =
     Printf.sprintf "%.3f%s" (x /. scale) p
 
 let pct base x = if base = 0.0 then 0.0 else (x -. base) /. base *. 100.0
+
+let repr v =
+  if Float.is_integer v && Float.abs v < 1e16 then Printf.sprintf "%.0f" v
+  else
+    let exact p =
+      let s = Printf.sprintf "%.*g" p v in
+      if float_of_string s = v then Some s else None
+    in
+    match exact 15 with
+    | Some s -> s
+    | None -> ( match exact 16 with Some s -> s | None -> Printf.sprintf "%.17g" v)
+
+(* Shift the decimal exponent of a number literal by [k] without touching
+   the mantissa text: exact decimal scaling, where [*. 10.**k] would
+   round twice. Returns [None] on exponents too wild to be a file value. *)
+let shift10 s k =
+  if k = 0 then Some s
+  else
+    let e =
+      match String.index_opt s 'e' with None -> String.index_opt s 'E' | some -> some
+    in
+    match e with
+    | None -> Some (s ^ "e" ^ string_of_int k)
+    | Some i -> (
+        let mant = String.sub s 0 i in
+        match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+        | Some e when e + k = 0 -> Some mant
+        | Some e when Int.abs e < 100_000 -> Some (mant ^ "e" ^ string_of_int (e + k))
+        | Some _ | None -> None)
+
+let of_scaled ~exp10 s =
+  if s = "" then None
+  else
+    match Option.bind (shift10 s exp10) float_of_string_opt with
+    | Some v when Float.is_finite v -> Some v
+    | Some _ | None -> None
+
+let to_scaled ~exp10 v =
+  if not (Float.is_finite v) then repr v
+  else match shift10 (repr v) (-exp10) with Some s -> s | None -> assert false

@@ -15,3 +15,23 @@ val si : float -> string
 val pct : float -> float -> float
 (** [pct base x] is the percent change from [base] to [x];
     [0.] when [base = 0.]. *)
+
+val repr : float -> string
+(** The shortest [%g] rendering that parses back to exactly the same
+    double (tries 15, 16, then 17 significant digits) — the corpus-file
+    discipline ([%.17g] round-trip) without 17 digits on every value. *)
+
+val of_scaled : exp10:int -> string -> float option
+(** [of_scaled ~exp10 s] parses [s] as a decimal scaled by [10^exp10] —
+    the number is rescaled in {e string} space (the decimal exponent is
+    shifted by [exp10] before [float_of_string]), so a value written by
+    {!to_scaled} reads back bit-identical: no [*. 1e-12] rounding on
+    either side. [None] on malformed input, including nan/inf/hex
+    floats, which the file formats reject. *)
+
+val to_scaled : exp10:int -> float -> string
+(** [to_scaled ~exp10 v] renders [v /. 10^exp10] exactly: {!repr} of
+    [v] with its decimal exponent shifted by [-exp10]. The file formats
+    use this to print SI values in human units (ps, fF) losslessly:
+    [of_scaled ~exp10 (to_scaled ~exp10 v) = Some v] for every finite
+    [v]. *)
