@@ -45,9 +45,11 @@ type run = {
   lib_size : int;
   seconds : float;
   slack : float;
+  energy : float;
   generated : int;
   pruned : int;
   pred_pruned : int;
+  power_pruned : int;
   peak_width : int;
   type_widths : int array;
   arena : int;
@@ -65,17 +67,34 @@ let time_run ~iters f =
   done;
   (!best, Option.get !out)
 
-let scenario ?(lib = lib) ?suffix ~iters ~sinks ~noise ~kmax () =
+let scenario ?(lib = lib) ?suffix ?budget_frac ~iters ~sinks ~noise ~kmax () =
   let seg = Rctree.Segment.refine (big_tree sinks) ~max_len:500e-6 in
-  let mode = match kmax with None -> Bufins.Dp.Single | Some k -> Bufins.Dp.Per_count k in
+  let mode =
+    match (kmax, budget_frac) with
+    | None, None -> Bufins.Dp.Single
+    | Some k, None -> Bufins.Dp.Per_count k
+    | Some k, Some frac ->
+        (* the budget is a fraction of the unconstrained winner's
+           energy, measured by an untimed Per_count reference run *)
+        let unc =
+          (Bufins.Dp.run ~noise ~mode:(Bufins.Dp.Per_count k) ~lib seg).Bufins.Dp.best
+        in
+        let e = match unc with Some r -> r.Bufins.Dp.energy | None -> 0.0 in
+        Bufins.Dp.Power_bounded { budget = frac *. e; kmax = k }
+    | None, Some _ -> invalid_arg "budget_frac requires kmax"
+  in
   let seconds, (outcome : Bufins.Dp.outcome) =
     time_run ~iters (fun () -> Bufins.Dp.run ~noise ~mode ~lib seg)
   in
   let slack = match outcome.Bufins.Dp.best with Some r -> r.Bufins.Dp.slack | None -> nan in
+  let energy = match outcome.Bufins.Dp.best with Some r -> r.Bufins.Dp.energy | None -> 0.0 in
   {
     name =
       Printf.sprintf "%s_%s_%d%s"
-        (match kmax with None -> "single" | Some k -> Printf.sprintf "per_count_k%d" k)
+        (match (kmax, budget_frac) with
+        | None, _ -> "single"
+        | Some k, None -> Printf.sprintf "per_count_k%d" k
+        | Some k, Some frac -> Printf.sprintf "power_k%d_p%.0f" k (frac *. 100.))
         (if noise then "noise" else "delay")
         sinks
         (match suffix with None -> "" | Some s -> "_" ^ s);
@@ -85,9 +104,11 @@ let scenario ?(lib = lib) ?suffix ~iters ~sinks ~noise ~kmax () =
     lib_size = List.length lib;
     seconds;
     slack;
+    energy;
     generated = outcome.Bufins.Dp.stats.Bufins.Dp.generated;
     pruned = outcome.Bufins.Dp.stats.Bufins.Dp.pruned;
     pred_pruned = outcome.Bufins.Dp.stats.Bufins.Dp.pred_pruned;
+    power_pruned = outcome.Bufins.Dp.stats.Bufins.Dp.power_pruned;
     peak_width = outcome.Bufins.Dp.stats.Bufins.Dp.peak_width;
     type_widths = outcome.Bufins.Dp.stats.Bufins.Dp.type_widths;
     arena = outcome.Bufins.Dp.stats.Bufins.Dp.arena;
@@ -100,12 +121,14 @@ let scenario ?(lib = lib) ?suffix ~iters ~sinks ~noise ~kmax () =
 let json_of_run r =
   Printf.sprintf
     "    {\"name\": \"%s\", \"sinks\": %d, \"noise\": %b, \"kmax\": %s, \"lib_size\": %d, \
-     \"wall_seconds\": %.6f, \"slack\": %.6e, \"generated\": %d, \"pruned\": %d, \
-     \"pred_pruned\": %d, \"peak_width\": %d, \"type_widths\": [%s], \"arena_nodes\": %d, \
-     \"minor_words\": %.0f, \"major_words\": %.0f}"
+     \"wall_seconds\": %.6f, \"slack\": %.6e, \"energy\": %.6e, \"generated\": %d, \
+     \"pruned\": %d, \"pred_pruned\": %d, \"power_pruned\": %d, \"peak_width\": %d, \
+     \"type_widths\": [%s], \"arena_nodes\": %d, \"minor_words\": %.0f, \"major_words\": \
+     %.0f}"
     r.name r.sinks r.noise
     (match r.kmax with None -> "null" | Some k -> string_of_int k)
-    r.lib_size r.seconds r.slack r.generated r.pruned r.pred_pruned r.peak_width
+    r.lib_size r.seconds r.slack r.energy r.generated r.pruned r.pred_pruned r.power_pruned
+    r.peak_width
     (String.concat ", " (Array.to_list (Array.map string_of_int r.type_widths)))
     r.arena r.minor_words r.major_words
 
@@ -139,15 +162,25 @@ let () =
                   ~iters ~sinks ~noise:false ~kmax:(Some 16) ())
               [ 1; 4; 8 ])
           [ 200; 800 ];
+        (* the energy-budgeted engine: its 3-axis frontier is far wider
+           than the 2-axis one, so these rows use 4 buffer types and
+           kmax = 8 (the experiments' power curve settings) with the
+           budget at half the unconstrained winner's energy *)
+        List.map
+          (fun sinks ->
+            scenario ~lib:(sub_lib 4) ~suffix:"b4" ~budget_frac:0.5 ~iters ~sinks
+              ~noise:false ~kmax:(Some 8) ())
+          [ 50; 200; 800 ];
       ]
   in
   List.iter
     (fun r ->
       Printf.printf
-        "%-28s %10.3f s wall  slack %+.1f ps  generated %d  pruned %d  pred-pruned %d  \
-         peak width %d  arena %d  alloc %.1f/%.1f Mwords minor/major\n%!"
-        r.name r.seconds (r.slack *. 1e12) r.generated r.pruned r.pred_pruned r.peak_width
-        r.arena
+        "%-28s %10.3f s wall  slack %+.1f ps  energy %.1f fJ  generated %d  pruned %d  \
+         pred-pruned %d  power-pruned %d  peak width %d  arena %d  alloc %.1f/%.1f Mwords \
+         minor/major\n%!"
+        r.name r.seconds (r.slack *. 1e12) (r.energy *. 1e15) r.generated r.pruned
+        r.pred_pruned r.power_pruned r.peak_width r.arena
         (r.minor_words /. 1e6) (r.major_words /. 1e6))
     runs;
   let oc = open_out out_path in

@@ -16,6 +16,11 @@ let algo_of_string = function
           match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
           | Some k -> Ok (Bufins.Buffopt.Delayopt k)
           | None -> Error (`Msg ("bad algorithm: " ^ s)))
+      | Some i when String.sub s 0 i = "power" -> (
+          (* budget is given in fJ on the command line; the library works in J *)
+          match float_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+          | Some fj when fj >= 0.0 -> Ok (Bufins.Buffopt.Power_bounded (fj *. 1e-15))
+          | Some _ | None -> Error (`Msg ("bad algorithm: " ^ s)))
       | _ -> Error (`Msg ("bad algorithm: " ^ s)))
 
 let describe_report prefix (r : Bufins.Eval.report) =
@@ -41,12 +46,14 @@ let run_cmd file algo seg_um kmax simulate =
           1
       | Some r ->
           describe_report "optimized" r.Bufins.Buffopt.report;
+          Printf.printf "energy: %.2f fJ in inserted buffers\n"
+            (r.Bufins.Buffopt.energy *. 1e15);
           let s = r.Bufins.Buffopt.stats in
           Printf.printf
-            "engine: candidates generated=%d pruned=%d pred-pruned=%d peak-frontier=%d \
-             trace-arena=%d alloc=%.1f/%.1f Mwords minor/major\n"
+            "engine: candidates generated=%d pruned=%d pred-pruned=%d power-pruned=%d \
+             peak-frontier=%d trace-arena=%d alloc=%.1f/%.1f Mwords minor/major\n"
             s.Bufins.Dp.generated s.Bufins.Dp.pruned s.Bufins.Dp.pred_pruned
-            s.Bufins.Dp.peak_width s.Bufins.Dp.arena
+            s.Bufins.Dp.power_pruned s.Bufins.Dp.peak_width s.Bufins.Dp.arena
             (s.Bufins.Dp.minor_words /. 1e6)
             (s.Bufins.Dp.major_words /. 1e6);
           List.iter
@@ -242,10 +249,11 @@ let mutation_of_string = function
   | "no-attach-guard" -> Ok (Some Bufins.Dp.No_attach_guard)
   | "loose-pred-bound" -> Ok (Some Bufins.Dp.Loose_pred_bound)
   | "stale-memo" -> Ok (Some Bufins.Dp.Stale_memo)
+  | "bad-power-bound" -> Ok (Some Bufins.Dp.Bad_power_bound)
   | s ->
       Error
-        ("bad mutation (want cq-noise-prune, no-attach-guard, loose-pred-bound or \
-          stale-memo): " ^ s)
+        ("bad mutation (want cq-noise-prune, no-attach-guard, loose-pred-bound, \
+          stale-memo or bad-power-bound): " ^ s)
 
 let oracle_of_string = function
   | None -> Ok None
@@ -303,7 +311,10 @@ let algo_arg =
     value
     & opt string "buffopt"
     & info [ "algo" ] ~docv:"ALGO"
-        ~doc:"One of buffopt, alg3, vangin, delayopt-$(i,k) (e.g. delayopt-4).")
+        ~doc:
+          "One of buffopt, alg3, vangin, delayopt-$(i,k) (e.g. delayopt-4), or \
+           power-$(i,fJ) for a delay optimization under a buffer-energy budget in \
+           femtojoules (e.g. power-60).")
 
 let seg_arg =
   Arg.(value & opt float 500.0 & info [ "seg" ] ~docv:"UM" ~doc:"Wire-segmenting length, um.")
@@ -412,8 +423,8 @@ let () =
         & info [ "mutate" ] ~docv:"NAME"
             ~doc:
               "Run against a deliberately broken DP engine (cq-noise-prune, \
-               no-attach-guard, loose-pred-bound or stale-memo); the campaign is \
-               expected to fail.")
+               no-attach-guard, loose-pred-bound, stale-memo or bad-power-bound); \
+               the campaign is expected to fail.")
     in
     let oracle =
       Arg.(

@@ -53,6 +53,22 @@ let min_buffers_noise ~lib tree =
       end)
     None
 
+let best_slack_power ~budget ~lib tree =
+  (* same ulp-scale headroom as Dp.run's admission: the DP accumulates
+     energy in tree-merge order and this sums a flat list, so at a
+     budget that is exactly a solution's energy the two sums can land
+     on opposite sides of the strict boundary *)
+  let tol = Float.abs budget *. 1e-12 in
+  fold_reports ~lib tree
+    (fun acc placements report ->
+      let e = Buffopt.placements_energy placements in
+      if e > budget +. tol then acc
+      else
+        match acc with
+        | Some (s, _, _) when s >= report.Eval.slack -> acc
+        | Some _ | None -> Some (report.Eval.slack, e, report))
+    None
+
 let best_slack ~noise ~lib tree =
   fold_reports ~lib tree
     (fun acc _ report ->

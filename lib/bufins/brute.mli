@@ -21,3 +21,14 @@ val min_buffers_noise : lib:Tech.Buffer.t list -> Rctree.Tree.t -> (int * Eval.r
 val best_slack : noise:bool -> lib:Tech.Buffer.t list -> Rctree.Tree.t -> (float * Eval.report) option
 (** Maximum achievable slack; with [noise = true], only noise-clean
     assignments qualify (Problem 2). *)
+
+val best_slack_power :
+  budget:float ->
+  lib:Tech.Buffer.t list ->
+  Rctree.Tree.t ->
+  (float * float * Eval.report) option
+(** Maximum slack over the assignments whose total buffer energy
+    ({!Buffopt.placements_energy}) stays within [budget] (J); no noise
+    constraint — the reference the power-vs-brute oracle holds
+    {!Dp.Power_bounded} to. Returns (slack, energy, report); [None]
+    only for a negative budget (the empty assignment costs nothing). *)

@@ -37,13 +37,19 @@ let problem3 ?pruning ?memo ~kmax ~lib tree =
           in
           Some { result = best; timing_met = false })
 
-type algorithm = Buffopt | Delayopt of int | Alg3_max_slack | Vangin_max_slack
+type algorithm =
+  | Buffopt
+  | Delayopt of int
+  | Alg3_max_slack
+  | Vangin_max_slack
+  | Power_bounded of float
 
 type run = {
   report : Eval.report;
   placements : Rctree.Surgery.placement list;
   count : int;
   predicted_slack : float;
+  energy : float;
   segmented : Rctree.Tree.t;
   stats : Dp.stats;
 }
@@ -60,6 +66,7 @@ let solve_segmented ?kmax:(km = 16) ?pruning ?memo algorithm ~lib seg =
   | Delayopt k -> Some (Vangin.run_max ?pruning ?memo ~max_buffers:k ~lib seg)
   | Alg3_max_slack -> Alg3.run ?pruning ?memo ~lib seg
   | Vangin_max_slack -> Some (Vangin.run ?pruning ?memo ~lib seg)
+  | Power_bounded budget -> Some (Vangin.run_power ?pruning ?memo ~budget ~kmax:km ~lib seg)
 
 let optimize ?(seg_len = 500e-6) ?(kmax = 16) ?(retries = 2) ?pruning algorithm ~lib tree =
   let rec attempt seg_len retries =
@@ -72,6 +79,7 @@ let optimize ?(seg_len = 500e-6) ?(kmax = 16) ?(retries = 2) ?pruning algorithm 
             placements = r.Dp.placements;
             count = r.Dp.count;
             predicted_slack = r.Dp.slack;
+            energy = r.Dp.energy;
             segmented = seg;
             stats = r.Dp.stats;
           }
@@ -88,10 +96,81 @@ let optimize_prepared ?kmax ?pruning ?memo algorithm ~lib seg =
           placements = r.Dp.placements;
           count = r.Dp.count;
           predicted_slack = r.Dp.slack;
+          energy = r.Dp.energy;
           segmented = seg;
           stats = r.Dp.stats;
         }
   | None -> None
+
+let placements_energy ps =
+  List.fold_left
+    (fun acc (p : Rctree.Surgery.placement) -> acc +. p.Rctree.Surgery.buffer.Tech.Buffer.energy)
+    0.0 ps
+
+let downsize ?slack_floor ~lib (run : run) =
+  let floor =
+    match slack_floor with Some f -> f | None -> Float.min run.report.Eval.slack 0.0
+  in
+  let ratio_cap = Float.max run.report.Eval.worst_noise_ratio 1.0 in
+  let admissible (rep : Eval.report) =
+    rep.Eval.slack >= floor && rep.Eval.worst_noise_ratio <= ratio_cap
+  in
+  (* same-polarity strictly-cheaper replacements, cheapest first *)
+  let shrink_lib (b : Tech.Buffer.t) =
+    List.filter
+      (fun (c : Tech.Buffer.t) ->
+        c.Tech.Buffer.inverting = b.Tech.Buffer.inverting
+        && c.Tech.Buffer.energy < b.Tech.Buffer.energy)
+      lib
+    |> List.sort (fun (a : Tech.Buffer.t) (b : Tech.Buffer.t) ->
+           Float.compare a.Tech.Buffer.energy b.Tech.Buffer.energy)
+  in
+  (* candidate edits at position [j], most energy saved first: drop the
+     buffer outright (only when non-inverting — removal must not flip
+     downstream signal polarity), then swap in each cheaper buffer *)
+  let moves ps j =
+    let p = List.nth ps j in
+    let removal =
+      if p.Rctree.Surgery.buffer.Tech.Buffer.inverting then []
+      else [ List.filteri (fun k _ -> k <> j) ps ]
+    in
+    let shrinks =
+      List.map
+        (fun b ->
+          List.mapi (fun k q -> if k = j then { q with Rctree.Surgery.buffer = b } else q) ps)
+        (shrink_lib p.Rctree.Surgery.buffer)
+    in
+    removal @ shrinks
+  in
+  let rec fix ps rep =
+    (* visit the most energy-hungry buffers first *)
+    let order =
+      List.mapi (fun j (p : Rctree.Surgery.placement) -> (j, p.Rctree.Surgery.buffer)) ps
+      |> List.stable_sort (fun (_, a) (_, b) ->
+             Float.compare b.Tech.Buffer.energy a.Tech.Buffer.energy)
+      |> List.map fst
+    in
+    let rec scan = function
+      | [] -> None
+      | j :: rest -> (
+          let rec first = function
+            | [] -> None
+            | ps' :: more ->
+                let rep' = Eval.apply run.segmented ps' in
+                if admissible rep' then Some (ps', rep') else first more
+          in
+          match first (moves ps j) with Some hit -> Some hit | None -> scan rest)
+    in
+    match scan order with Some (ps', rep') -> fix ps' rep' | None -> (ps, rep)
+  in
+  let ps, rep = fix run.placements run.report in
+  {
+    run with
+    report = rep;
+    placements = ps;
+    count = List.length ps;
+    energy = placements_energy ps;
+  }
 
 let optimize_coupled ?(seg_len = 500e-6) ?(kmax = 16) ?(retries = 2) ?pruning algorithm ~lib ann
     =
@@ -107,6 +186,7 @@ let optimize_coupled ?(seg_len = 500e-6) ?(kmax = 16) ?(retries = 2) ?pruning al
               placements = r.Dp.placements;
               count = r.Dp.count;
               predicted_slack = r.Dp.slack;
+              energy = r.Dp.energy;
               segmented = seg;
               stats = r.Dp.stats;
             },

@@ -19,7 +19,7 @@ type t = {
 }
 
 val problem3 :
-  ?pruning:[ `Predictive | `Sweep_only ] ->
+  ?pruning:[ `Predictive | `Predictive_power | `Sweep_only ] ->
   ?memo:Dp.Memo.t ->
   kmax:int ->
   lib:Tech.Buffer.t list ->
@@ -33,12 +33,16 @@ type algorithm =
   | Delayopt of int  (** DelayOpt(k): delay only, at most k buffers *)
   | Alg3_max_slack  (** noise + delay, unconstrained count (Problem 2) *)
   | Vangin_max_slack  (** delay only, unconstrained count *)
+  | Power_bounded of float
+      (** max slack within the given buffer-energy budget (J); delay
+          only, {!Dp.Power_bounded} under the hood (DESIGN.md §16) *)
 
 type run = {
   report : Eval.report;  (** evaluation of the applied solution *)
   placements : Rctree.Surgery.placement list;
   count : int;
   predicted_slack : float;  (** the DP's own slack *)
+  energy : float;  (** total buffer switching energy of the solution, J *)
   segmented : Rctree.Tree.t;  (** the tree the optimizer actually ran on *)
   stats : Dp.stats;  (** candidate-engine statistics of the winning run *)
 }
@@ -47,7 +51,7 @@ val optimize :
   ?seg_len:float ->
   ?kmax:int ->
   ?retries:int ->
-  ?pruning:[ `Predictive | `Sweep_only ] ->
+  ?pruning:[ `Predictive | `Predictive_power | `Sweep_only ] ->
   algorithm ->
   lib:Tech.Buffer.t list ->
   Rctree.Tree.t ->
@@ -63,7 +67,7 @@ val optimize :
 
 val optimize_prepared :
   ?kmax:int ->
-  ?pruning:[ `Predictive | `Sweep_only ] ->
+  ?pruning:[ `Predictive | `Predictive_power | `Sweep_only ] ->
   ?memo:Dp.Memo.t ->
   algorithm ->
   lib:Tech.Buffer.t list ->
@@ -78,11 +82,32 @@ val optimize_prepared :
     inputs produce results byte-identical to {!optimize} at the same
     granularity with the retry loop disabled. *)
 
+val placements_energy : Rctree.Surgery.placement list -> float
+(** Sum of the placements' buffer energies, J — the quantity the
+    energy-conservation oracle compares against {!Trace.energy}. *)
+
+val downsize : ?slack_floor:float -> lib:Tech.Buffer.t list -> run -> run
+(** The Downsize post-pass (DESIGN.md §16): greedily remove or swap
+    buffers for cheaper same-polarity library cells wherever the
+    re-evaluated solution stays admissible — slack no worse than
+    [slack_floor] (default: [min report.slack 0.], i.e. timing stays met
+    when it was, and never degrades when it was not) and the worst noise
+    ratio within [max report.worst_noise_ratio 1.], i.e. noise-clean
+    solutions stay clean and violating ones get no worse. Inverting
+    buffers are never removed (that would flip downstream polarity),
+    only shrunk. Visits the most energy-hungry buffers first and
+    iterates to a fixpoint; every accepted step is re-checked with a
+    from-scratch {!Eval.apply} on [run.segmented]. [report],
+    [placements], [count] and [energy] are updated; [predicted_slack]
+    and [stats] still describe the original DP run. Intended for
+    {!optimize} / {!optimize_prepared} runs (coupled runs re-key their
+    report onto the coupled tree, which this pass does not). *)
+
 val optimize_coupled :
   ?seg_len:float ->
   ?kmax:int ->
   ?retries:int ->
-  ?pruning:[ `Predictive | `Sweep_only ] ->
+  ?pruning:[ `Predictive | `Predictive_power | `Sweep_only ] ->
   algorithm ->
   lib:Tech.Buffer.t list ->
   Coupling.t ->

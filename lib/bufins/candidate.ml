@@ -1,18 +1,28 @@
 module T = Rctree.Tree
 
-(* All six fields are floats so the record is stored flat (one header
-   plus six unboxed doubles); adding any immediate field would box every
+(* All seven fields are floats so the record is stored flat (one header
+   plus seven unboxed doubles); adding any immediate field would box every
    float behind a pointer and triple the allocation per candidate. meta
    and tr hold small non-negative ints exactly: meta = 2*count + parity,
-   tr = the solution's Trace.handle. *)
-type t = { c : float; q : float; i : float; ns : float; meta : float; tr : float }
+   tr = the solution's Trace.handle. p is the solution's accumulated
+   buffer energy (J); it rides along for free in every mode and becomes a
+   pruning axis only in power mode (DESIGN.md §16). *)
+type t = { c : float; q : float; i : float; ns : float; p : float; meta : float; tr : float }
 
 let parity a = int_of_float a.meta land 1
 let count a = int_of_float a.meta asr 1
 let trace a = int_of_float a.tr
 
 let of_sink (s : T.sink) =
-  { c = s.T.c_sink; q = s.T.rat; i = 0.0; ns = s.T.nm; meta = 0.0; tr = float_of_int Trace.leaf }
+  {
+    c = s.T.c_sink;
+    q = s.T.rat;
+    i = 0.0;
+    ns = s.T.nm;
+    p = 0.0;
+    meta = 0.0;
+    tr = float_of_int Trace.leaf;
+  }
 
 let add_wire (w : T.wire) a =
   {
@@ -32,6 +42,7 @@ let add_buffer ~arena ~at (b : Tech.Buffer.t) a =
     q = a.q -. Tech.Buffer.gate_delay b ~load:a.c;
     i = 0.0;
     ns = b.Tech.Buffer.nm;
+    p = a.p +. b.Tech.Buffer.energy;
     meta = float_of_int m;
     tr = float_of_int (Trace.buf arena ~node:at ~dist:0.0 ~buffer:b ~pred:(trace a));
   }
@@ -50,6 +61,7 @@ let merge ~arena a b =
     q = Float.min a.q b.q;
     i = a.i +. b.i;
     ns = Float.min a.ns b.ns;
+    p = a.p +. b.p;
     (* counts add, the shared parity must not be counted twice *)
     meta = a.meta +. b.meta -. float_of_int (parity a);
     tr = float_of_int (Trace.join arena ~left:(trace a) ~right:(trace b));
@@ -69,6 +81,19 @@ let cmp_frontier a b =
           match Float.compare a.i b.i with 0 -> Float.compare b.ns a.ns | n -> n)
       | n -> n)
   | n -> n
+
+(* Power-mode relations (DESIGN.md §16). These extend the delay / noise
+   dominance with the energy axis; they live beside — never instead of —
+   the classic relations so that power-off runs execute byte-identical
+   code paths. *)
+
+let dominates_power a b = a.c <= b.c && a.q >= b.q && a.p <= b.p
+
+let dominates_full_power a b =
+  a.c <= b.c && a.q >= b.q && a.i <= b.i && a.ns >= b.ns && a.p <= b.p
+
+let cmp_frontier_power a b =
+  match cmp_frontier a b with 0 -> Float.compare a.p b.p | n -> n
 
 (* Monomorphic fast paths for the DP inner loops. These are the
    {!Frontier} sweeps and the Van Ginneken merge walk instantiated at
@@ -127,6 +152,121 @@ let sweep_noise l =
         else go (x :: strip_ties x kept) rest
   in
   go [] l
+
+(* Power-mode sweeps. The 5-axis noise sweep scans each survivor list
+   for dominance, exactly like [sweep_noise] — quadratic per group. *)
+
+let sweep_power_gen dom l =
+  let dropped = ref 0 in
+  let rec dominated x = function [] -> false | k :: tl -> dom k x || dominated x tl in
+  let rec strip_ties x kept =
+    match kept with
+    | k :: tl when k.c = x.c ->
+        let tl = strip_ties x tl in
+        if dom x k then begin
+          incr dropped;
+          tl
+        end
+        else k :: tl
+    | _ -> kept
+  in
+  let rec go kept = function
+    | [] -> (List.rev kept, !dropped)
+    | x :: rest ->
+        if dominated x kept then begin
+          incr dropped;
+          go kept rest
+        end
+        else go (x :: strip_ties x kept) rest
+  in
+  go [] l
+
+let sweep_noise_power l = sweep_power_gen dominates_full_power l
+
+module FM = Map.Make (Float)
+
+(* The 3-axis delay-power sweep is O(n log n), not quadratic: the input
+   is sorted by [cmp_frontier_power], so every already-kept candidate
+   has load <= the current one and only the (q, p) axes remain. Those
+   survivors form a staircase — p strictly increases with q among
+   mutually non-dominated (q, p) points — kept in a map from q to the
+   cheapest p seen at or above that q. A candidate is dominated iff the
+   staircase point with the smallest q >= its own carries p <= its own;
+   a kept candidate evicts the staircase points it (q, p)-dominates.
+   Dominated-but-kept duplicates in (c, q) with off-order p (possible
+   when the i / ns tie-breaks interleave) are retained — harmless for
+   exactness, they are weakly dominated and never extend the frontier. *)
+let sweep_delay_power l =
+  let dropped = ref 0 in
+  let stairs = ref FM.empty in
+  let keep (x : t) =
+    let dominated =
+      match FM.find_first_opt (fun q -> q >= x.q) !stairs with
+      | Some (_, p) -> p <= x.p
+      | None -> false
+    in
+    if dominated then begin
+      incr dropped;
+      false
+    end
+    else begin
+      let rec purge m =
+        match FM.find_last_opt (fun q -> q <= x.q) m with
+        | Some (q, p) when p >= x.p -> purge (FM.remove q m)
+        | _ -> m
+      in
+      stairs := FM.add x.q x.p (purge !stairs);
+      true
+    end
+  in
+  let kept = List.filter keep l in
+  (kept, !dropped)
+
+(* Exact delay-power branch merge (DESIGN.md §16), avoiding the full
+   |L| x |R| pairing walk. Both inputs are 3-axis frontiers; the merged
+   slack is [min qa qb], so walking one side in descending q while the
+   other side's already-passed (q >=) members are folded into a (c, p)
+   staircase enumerates a superset of the merged frontier: a pairing
+   with an off-staircase partner is weakly dominated by the same
+   pairing through the staircase member that (c, p)-covers it, at equal
+   or better merged q. Two passes — L against R's staircase (q ties
+   included), then R against L's strictly-above staircase — see every
+   pairing that can matter exactly once. [emit] receives (left, right)
+   in frontier order. *)
+let merge_delay_power ~emit lgroup rgroup =
+  let byq_desc = List.stable_sort (fun (a : t) (b : t) -> Float.compare b.q a.q) in
+  let pass ~strict walk prefix emit_pair =
+    let prefix = Array.of_list (byq_desc prefix) in
+    let n = Array.length prefix in
+    let stair = ref FM.empty in
+    let add (b : t) =
+      let dominated =
+        match FM.find_last_opt (fun c -> c <= b.c) !stair with
+        | Some (_, (k : t)) -> k.p <= b.p
+        | None -> false
+      in
+      if not dominated then begin
+        let rec purge m =
+          match FM.find_first_opt (fun c -> c >= b.c) m with
+          | Some (c, (k : t)) when k.p >= b.p -> purge (FM.remove c m)
+          | _ -> m
+        in
+        stair := FM.add b.c b (purge !stair)
+      end
+    in
+    let j = ref 0 in
+    List.iter
+      (fun (a : t) ->
+        let ahead (b : t) = if strict then b.q > a.q else b.q >= a.q in
+        while !j < n && ahead prefix.(!j) do
+          add prefix.(!j);
+          incr j
+        done;
+        FM.iter (fun _ b -> emit_pair a b) !stair)
+      (byq_desc walk)
+  in
+  pass ~strict:false lgroup rgroup (fun a b -> emit a b);
+  pass ~strict:true rgroup lgroup (fun b a -> emit a b)
 
 let merge_sweep_delay runs =
   (* = sweep_delay (Frontier.merge_sorted cmp_frontier runs), with the
@@ -263,6 +403,56 @@ let covered ~bound ~c ~q group =
     | _ -> false
   in
   go group
+
+(* Power-extended predictive kills (DESIGN.md §16): a witness may kill a
+   victim only when it also weakly dominates on the energy axis
+   ([k.p <= x.p]) — upstream buffers add the same energy to either
+   candidate, so the witness then completes with no worse slack {e and}
+   no worse energy, making the discard sound under a power budget. The
+   extension only ever prunes less than the classic rule. *)
+
+let pred_kills_power ~bound (k : t) (x : t) = pred_kills ~bound k x && k.p <= x.p
+
+let covered_power ~bound ~c ~q ~p group =
+  let rec go = function
+    | (k : t) :: tl when k.c <= c ->
+        (k.p <= p && (k.q >= q || (c > k.c && q -. k.q < bound *. (c -. k.c))))
+        || go tl
+    | _ -> false
+  in
+  go group
+
+let climb_pred_power ~bound w group =
+  let emitted = ref 0 and prekilled = ref 0 in
+  let rec go acc = function
+    | [] -> (List.rev acc, !emitted, !prekilled)
+    | a :: tl -> (
+        let x = add_wire w a in
+        match acc with
+        | k :: _ when pred_kills_power ~bound k x ->
+            incr prekilled;
+            go acc tl
+        | _ ->
+            incr emitted;
+            go (x :: acc) tl)
+  in
+  go [] group
+
+let climb_resize_pred_power ~arena ~bound ~node ~width w group =
+  let emitted = ref 0 and prekilled = ref 0 in
+  let rec go acc = function
+    | [] -> (List.rev acc, !emitted, !prekilled)
+    | a :: tl -> (
+        let x = add_wire w a in
+        match acc with
+        | k :: _ when pred_kills_power ~bound k x ->
+            incr prekilled;
+            go acc tl
+        | _ ->
+            incr emitted;
+            go (resize ~arena ~node ~width x :: acc) tl)
+  in
+  go [] group
 
 let climb_pred ~bound w group =
   let emitted = ref 0 and prekilled = ref 0 in

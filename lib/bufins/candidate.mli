@@ -13,14 +13,17 @@ type t = {
   q : float;  (** timing slack: min downstream [rat - delay-to-sink], s *)
   i : float;  (** downstream coupled current, A (eq. 7) *)
   ns : float;  (** noise slack, V (eq. 12) *)
+  p : float;  (** accumulated buffer energy of the solution, J *)
   meta : float;  (** [2*count + parity], an exact small int; see {!count} *)
   tr : float;  (** solution {!Trace.handle}, an exact small int; see {!trace} *)
 }
 (** Deliberately all-float: an OCaml record whose fields are all floats
-    is stored flat (header + unboxed doubles, 7 words here), while one
-    immediate field would force a boxed double per float field (17 words).
+    is stored flat (header + unboxed doubles, 8 words here), while one
+    immediate field would force a boxed double per float field.
     [meta] and [tr] stay exact because counts and handles are far below
-    2{^52}. *)
+    2{^52}. [p] sums the {!Tech.Buffer.t.energy} of every buffer in the
+    solution; outside power mode it is a passenger field that no pruning
+    relation reads. *)
 
 val parity : t -> int
 (** Signal inversions accumulated below: 0 or 1. *)
@@ -90,6 +93,48 @@ val cmp_frontier : t -> t -> int
     ascending, noise slack descending — the sort {!Frontier.sweep_dom}
     requires for {!dominates_full} (any dominator sorts no later than
     the candidate it dominates, up to equal-cost ties). *)
+
+(** {2 Power-mode relations (DESIGN.md §16)}
+
+    The energy axis joins the dominance relation only in power mode;
+    power-off runs never execute these, keeping their outcomes
+    byte-identical to the classic engine. *)
+
+val dominates_power : t -> t -> bool
+(** {!dominates} strengthened with [a.p <= b.p]: the power-mode delay
+    pruning relation (3-axis). Sound because every upstream operation is
+    monotone non-decreasing in [p]. *)
+
+val dominates_full_power : t -> t -> bool
+(** {!dominates_full} strengthened with [a.p <= b.p]: the power-mode
+    noise pruning relation (5-axis). *)
+
+val cmp_frontier_power : t -> t -> int
+(** {!cmp_frontier} with energy ascending as the final tie-break — the
+    sort order of power-mode groups. *)
+
+val sweep_delay_power : t list -> t list * int
+(** Dominance sweep under {!dominates_power} on a
+    [cmp_frontier_power]-sorted list, O(n log n): with load already
+    sorted, survivors reduce to a (slack, energy) staircase kept in a
+    map, so each element costs one staircase lookup plus amortized
+    eviction. Returns (kept, dropped). May retain a weakly dominated
+    equal-(c, q) duplicate when the i / ns tie-breaks interleave the
+    energy order — never anything that extends the frontier. *)
+
+val sweep_noise_power : t list -> t list * int
+(** Dominance sweep under {!dominates_full_power} (5-axis); quadratic
+    per group, like {!sweep_noise}. *)
+
+val merge_delay_power :
+  emit:(t -> t -> unit) -> t list -> t list -> unit
+(** Exact delay-power branch merge: calls [emit left right] for every
+    pairing of the two 3-axis frontiers that can contribute to the
+    merged frontier, skipping pairings whose partner is (load, energy)-
+    dominated within the equal-or-better-slack prefix of its side —
+    those merges are weakly dominated by an emitted one. Walks each
+    side in descending slack against the other side's staircase;
+    typically far below the |L| x |R| full pairing walk. *)
 
 (** {2 Monomorphic fast paths}
 
@@ -190,6 +235,36 @@ val climb_resize_pred :
 (** [climb_pred] for a sized wire family: survivors additionally record
     their [Resize] arena node (the wire must already be resized by the
     caller). *)
+
+(** {3 Power-extended kills ([`Predictive_power]; DESIGN.md §16)}
+
+    The classic slope kill is unsound under a power budget: the witness
+    may be the more expensive candidate, and discarding the victim can
+    discard the only budget-feasible completion. The extended rule
+    additionally requires the witness to weakly dominate on energy
+    ([k.p <= x.p]) — upstream buffers add equal energy to either, so the
+    witness then completes with no worse slack {e and} no worse energy.
+    Strictly fewer kills than the classic rule; the power-vs-brute and
+    pred-vs-sweep-style oracles fuzz-verify it. *)
+
+val pred_kills_power : bound:float -> t -> t -> bool
+
+val covered_power : bound:float -> c:float -> q:float -> p:float -> t list -> bool
+(** {!covered} with the energy condition: only members with
+    [k.p <= p] may kill the would-be insertion at [(c, q, p)]. *)
+
+val climb_pred_power : bound:float -> Rctree.Tree.wire -> t list -> t list * int * int
+(** {!climb_pred} under {!pred_kills_power}. *)
+
+val climb_resize_pred_power :
+  arena:Trace.arena ->
+  bound:float ->
+  node:int ->
+  width:float ->
+  Rctree.Tree.wire ->
+  t list ->
+  t list * int * int
+(** {!climb_resize_pred} under {!pred_kills_power}. *)
 
 val merge_sweep_delay_pred :
   arena:Trace.arena ->

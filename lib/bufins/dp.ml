@@ -2,14 +2,23 @@ module T = Rctree.Tree
 module C = Candidate
 module F = Frontier
 
-type mode = Single | Per_count of int
+type mode =
+  | Single
+  | Per_count of int
+  | Power_bounded of { budget : float; kmax : int }
 
-type mutation = Cq_noise_prune | No_attach_guard | Loose_pred_bound | Stale_memo
+type mutation =
+  | Cq_noise_prune
+  | No_attach_guard
+  | Loose_pred_bound
+  | Stale_memo
+  | Bad_power_bound
 
 type stats = {
   generated : int;
   pruned : int;
   pred_pruned : int;
+  power_pruned : int;
   peak_width : int;
   type_widths : int array;
   arena : int;
@@ -17,7 +26,7 @@ type stats = {
   major_words : float;
 }
 
-let considered s = s.generated + s.pred_pruned
+let considered s = s.generated + s.pred_pruned + s.power_pruned
 
 let survivors s = s.generated - s.pruned
 
@@ -26,6 +35,7 @@ type result = {
   placements : Rctree.Surgery.placement list;
   sizes : (int * float) list;
   count : int;
+  energy : float;
   stats : stats;
 }
 
@@ -206,6 +216,28 @@ let run ?(prune = true) ?(pruning = `Predictive) ?(widths = [ 1.0 ]) ?(area_frac
     match mode with
     | Single -> (false, max_int, 1)
     | Per_count k -> (true, k, k + 1)
+    | Power_bounded { kmax; _ } -> (true, kmax, kmax + 1)
+  in
+  (* Power mode (DESIGN.md §16): the energy coordinate becomes a pruning
+     axis and an insertion budget. [eff_budget] is the budget the engine
+     actually enforces — the Bad_power_bound mutation inflates it so
+     over-budget solutions leak through for the power oracles to catch. *)
+  let power, budget =
+    match mode with
+    | Power_bounded { budget; _ } -> (true, budget)
+    | Single | Per_count _ -> (false, infinity)
+  in
+  if power && not (budget >= 0.0) then invalid_arg "Dp.run: negative power budget";
+  let eff_budget =
+    if mutation = Some Bad_power_bound then budget *. loose_bound_factor
+    else
+      (* ulp-scale headroom: candidate energy accumulates in tree-merge
+         order, so at an exact-boundary budget (the sum of k buffer
+         energies) the optimum can land one rounding step above the
+         nominal budget. The slack is far below any real energy
+         difference, and the reported winner still satisfies the
+         budget under the same relative tolerance. *)
+      budget +. (Float.abs budget *. 1e-12)
   in
   let nslots = 2 * nbuckets in
   let plib = Tech.Lib.prepare lib in
@@ -214,8 +246,21 @@ let run ?(prune = true) ?(pruning = `Predictive) ?(widths = [ 1.0 ]) ?(area_frac
      the slope argument bounds how a load difference erodes a slack
      difference, which says nothing about the (i, ns) coordinates the
      noise-mode 4D dominance must preserve. It also stays off under
-     [prune = false] (Ablation B wants the full population). *)
-  let pred = pruning = `Predictive && (not noise) && prune in
+     [prune = false] (Ablation B wants the full population). In power
+     mode it is additionally off under the default [`Predictive] —
+     the classic kill ignores the energy axis and would discard
+     cheaper-in-power candidates; [`Predictive_power] opts into the
+     extended kill (witness must also weakly dominate in power). *)
+  let pred =
+    prune && (not noise)
+    &&
+    match pruning with
+    | `Sweep_only -> false
+    | `Predictive -> not power
+    | `Predictive_power -> true
+  in
+  let pred_power = pred && power in
+  let cmp_order = if power then C.cmp_frontier_power else C.cmp_frontier in
   let single_width = widths = [ 1.0 ] in
   let bounds =
     if not pred then [||]
@@ -228,6 +273,7 @@ let run ?(prune = true) ?(pruning = `Predictive) ?(widths = [ 1.0 ]) ?(area_frac
     end
   in
   let generated = ref 0 and pruned = ref 0 and pred_pruned = ref 0 in
+  let power_pruned = ref 0 in
   let peak_width = ref 0 in
   let type_widths = Array.make ntypes 0 in
   let type_scratch = Array.make ntypes 0 in
@@ -235,7 +281,11 @@ let run ?(prune = true) ?(pruning = `Predictive) ?(widths = [ 1.0 ]) ?(area_frac
     if not prune then cands
     else begin
       let kept, dropped =
-        if noise && not cq_prune then C.sweep_noise cands else C.sweep_delay cands
+        if power then
+          if noise && not cq_prune then C.sweep_noise_power cands
+          else C.sweep_delay_power cands
+        else if noise && not cq_prune then C.sweep_noise cands
+        else C.sweep_delay cands
       in
       pruned := !pruned + dropped;
       kept
@@ -259,7 +309,9 @@ let run ?(prune = true) ?(pruning = `Predictive) ?(widths = [ 1.0 ]) ?(area_frac
      candidate in a ref (pointer store); [scan_s.(0) > neg_infinity]
      doubles as the found flag. *)
   let scan_s = Array.make 1 neg_infinity in
-  let dummy_cand = { C.c = 0.0; q = 0.0; i = 0.0; ns = 0.0; meta = 0.0; tr = 0.0 } in
+  let dummy_cand =
+    { C.c = 0.0; q = 0.0; i = 0.0; ns = 0.0; p = 0.0; meta = 0.0; tr = 0.0 }
+  in
   let scan_best = ref dummy_cand in
   let rec scan (b : Tech.Buffer.t) = function
     | [] -> ()
@@ -364,15 +416,24 @@ let run ?(prune = true) ?(pruning = `Predictive) ?(widths = [ 1.0 ]) ?(area_frac
                   pred_pruned := !pred_pruned + prekilled;
                   kept
                 in
-                if w.T.length <= 0.0 then [ family (fun () -> C.climb_pred ~bound w group) ]
+                let climb () =
+                  if pred_power then C.climb_pred_power ~bound w group
+                  else C.climb_pred ~bound w group
+                in
+                if w.T.length <= 0.0 then [ family climb ]
                 else
                   List.map
                     (fun width ->
-                      if width = 1.0 then family (fun () -> C.climb_pred ~bound w group)
+                      if width = 1.0 then family climb
                       else begin
                         let sized = T.resize_wire w ~width ~area_frac in
                         family (fun () ->
-                            C.climb_resize_pred ~arena ~bound ~node:at ~width sized group)
+                            if pred_power then
+                              C.climb_resize_pred_power ~arena ~bound ~node:at ~width
+                                sized group
+                            else
+                              C.climb_resize_pred ~arena ~bound ~node:at ~width sized
+                                group)
                       end)
                     widths
               end
@@ -399,7 +460,7 @@ let run ?(prune = true) ?(pruning = `Predictive) ?(widths = [ 1.0 ]) ?(area_frac
               end
             in
             let combined =
-              match families with [ f ] -> f | fs -> F.merge_sorted C.cmp_frontier fs
+              match families with [ f ] -> f | fs -> F.merge_sorted cmp_order fs
             in
             sweep (drop_noisy combined))
         tbl
@@ -412,7 +473,59 @@ let run ?(prune = true) ?(pruning = `Predictive) ?(widths = [ 1.0 ]) ?(area_frac
   let exhaustive = noise && prune && not cq_prune in
   let merge_groups ~bound lt rt =
     scan_valid := false;
-    if pred then begin
+    if power then begin
+      (* Power-mode branch merge: every pairing must be considered — a
+         pairing off the (c, q) frontier can be the only budget-feasible
+         one — so the walks are exhaustive, like noise mode's. The budget
+         check is fused in before [merge] materializes anything:
+         over-budget pairings cost no allocation and no arena node, and
+         are counted as [power_pruned]. Predictive merge kills are not
+         attempted in power mode (the staircase witness index is
+         two-axis); [`Predictive_power] prunes at climbs and insertions
+         only. *)
+      let runs = Array.make nslots [] in
+      for sl = 0 to nslots - 1 do
+        match lt.(sl) with
+        | [] -> ()
+        | lgroup ->
+            let p = sl land 1 and kl = sl asr 1 in
+            for kr = 0 to nbuckets - 1 do
+              if kl + kr <= kmax then begin
+                match rt.((2 * kr) + p) with
+                | [] -> ()
+                | rgroup ->
+                    let pairs = ref [] in
+                    let emit (a : C.t) (b : C.t) =
+                      if a.C.p +. b.C.p > eff_budget then incr power_pruned
+                      else begin
+                        incr generated;
+                        pairs := C.merge ~arena a b :: !pairs
+                      end
+                    in
+                    (* delay mode enumerates only staircase pairings
+                       (exact; see Candidate.merge_delay_power); the
+                       5-axis noise frontier has no such structure, so
+                       noise-power merges stay fully exhaustive *)
+                    if noise then
+                      List.iter
+                        (fun (a : C.t) -> List.iter (fun (b : C.t) -> emit a b) rgroup)
+                        lgroup
+                    else C.merge_delay_power ~emit lgroup rgroup;
+                    if !pairs <> [] then begin
+                      let target = 2 * (kl + kr) + p in
+                      runs.(target) <- !pairs :: runs.(target)
+                    end
+              end
+            done
+      done;
+      Array.map
+        (fun rs ->
+          match rs with
+          | [] -> []
+          | _ -> sweep (List.sort cmp_order (List.concat rs)))
+        runs
+    end
+    else if pred then begin
       (* Cross-run predictive merge (DESIGN.md §12): collect the pairing
          walks per target slot first, then run all walks feeding one
          slot through a single fused selection. The slope rule then sees
@@ -519,29 +632,85 @@ let run ?(prune = true) ?(pruning = `Predictive) ?(widths = [ 1.0 ]) ?(area_frac
             if sl asr 1 < kmax then
               for ti = 0 to ntypes - 1 do
                 let b = plib.Tech.Lib.bufs.(ti) in
-                (if use_cache && not (Float.is_nan ins_s.((sl * ntypes) + ti)) then begin
-                   scan_s.(0) <- ins_s.((sl * ntypes) + ti);
-                   scan_best := ins_best.((sl * ntypes) + ti)
-                 end
-                 else begin
-                   scan_s.(0) <- neg_infinity;
-                   scan b sgroup
-                 end);
-                if scan_s.(0) > neg_infinity then begin
-                  (* one insertion per (group, type); its destination
-                     group is known before anything is materialized *)
-                  let p = sl land 1 in
-                  let p' = if plib.Tech.Lib.inverting.(ti) then 1 - p else p in
-                  let target = (if counted then 2 * ((sl asr 1) + 1) else 0) + p' in
-                  if
-                    pred
-                    && C.covered ~bound ~c:plib.Tech.Lib.c_in.(ti) ~q:scan_s.(0)
-                         tbl.(target)
-                  then incr pred_pruned
-                  else begin
-                    let cand = C.add_buffer ~arena ~at:v b !scan_best in
-                    incr generated;
-                    additions.(target) <- cand :: additions.(target)
+                if power then begin
+                  (* Power mode: sources of one (group, type) share the
+                     insertion's load / current / noise slack but differ
+                     in both resulting slack and energy, so the single
+                     best-slack scan is replaced by the (slack, energy)
+                     Pareto staircase of the source group — every
+                     staircase member is an insertion no other source can
+                     dominate. Over-budget members are skipped before
+                     materialization and counted as [power_pruned]. *)
+                  let pr = sl land 1 in
+                  let pr' = if plib.Tech.Lib.inverting.(ti) then 1 - pr else pr in
+                  let target = (2 * ((sl asr 1) + 1)) + pr' in
+                  let eligible =
+                    List.filter_map
+                      (fun (a : C.t) ->
+                        if
+                          noise && attach_guard
+                          && not (C.noise_ok ~r_gate:b.Tech.Buffer.r_b a)
+                        then None
+                        else
+                          Some
+                            ( a.C.q -. Tech.Buffer.gate_delay b ~load:a.C.c,
+                              a.C.p +. plib.Tech.Lib.energy.(ti),
+                              a ))
+                      sgroup
+                  in
+                  let eligible =
+                    List.stable_sort
+                      (fun (s1, p1, _) (s2, p2, _) ->
+                        match Float.compare s2 s1 with
+                        | 0 -> Float.compare p1 p2
+                        | n -> n)
+                      eligible
+                  in
+                  let best_p = ref infinity in
+                  List.iter
+                    (fun (s, pw, a) ->
+                      if pw < !best_p then begin
+                        best_p := pw;
+                        if pw > eff_budget then incr power_pruned
+                        else if
+                          pred
+                          && C.covered_power ~bound ~c:plib.Tech.Lib.c_in.(ti)
+                               ~q:s ~p:pw tbl.(target)
+                        then incr pred_pruned
+                        else begin
+                          let cand = C.add_buffer ~arena ~at:v b a in
+                          incr generated;
+                          additions.(target) <- cand :: additions.(target)
+                        end
+                      end)
+                    eligible
+                end
+                else begin
+                  (if use_cache && not (Float.is_nan ins_s.((sl * ntypes) + ti))
+                   then begin
+                     scan_s.(0) <- ins_s.((sl * ntypes) + ti);
+                     scan_best := ins_best.((sl * ntypes) + ti)
+                   end
+                   else begin
+                     scan_s.(0) <- neg_infinity;
+                     scan b sgroup
+                   end);
+                  if scan_s.(0) > neg_infinity then begin
+                    (* one insertion per (group, type); its destination
+                       group is known before anything is materialized *)
+                    let p = sl land 1 in
+                    let p' = if plib.Tech.Lib.inverting.(ti) then 1 - p else p in
+                    let target = (if counted then 2 * ((sl asr 1) + 1) else 0) + p' in
+                    if
+                      pred
+                      && C.covered ~bound ~c:plib.Tech.Lib.c_in.(ti) ~q:scan_s.(0)
+                           tbl.(target)
+                    then incr pred_pruned
+                    else begin
+                      let cand = C.add_buffer ~arena ~at:v b !scan_best in
+                      incr generated;
+                      additions.(target) <- cand :: additions.(target)
+                    end
                   end
                 end
               done)
@@ -551,13 +720,13 @@ let run ?(prune = true) ?(pruning = `Predictive) ?(widths = [ 1.0 ]) ?(area_frac
         match cands with
         | [] -> ()
         | _ ->
-            let cands = List.sort C.cmp_frontier cands in
-            if prune && ((not noise) || cq_prune) then begin
+            let cands = List.sort cmp_order cands in
+            if (not power) && prune && ((not noise) || cq_prune) then begin
               let kept, dropped = C.splice_delay tbl.(sl) cands in
               pruned := !pruned + dropped;
               tbl.(sl) <- kept
             end
-            else tbl.(sl) <- sweep (List.merge C.cmp_frontier tbl.(sl) cands))
+            else tbl.(sl) <- sweep (List.merge cmp_order tbl.(sl) cands))
       additions;
     (* per-buffer-type frontier census at the insertion site: how many
        candidates of each group are currently headed by each library
@@ -645,7 +814,7 @@ let run ?(prune = true) ?(pruning = `Predictive) ?(widths = [ 1.0 ]) ?(area_frac
     | Some tbl -> tbl
     | None ->
         let dest_scan =
-          pred && single_width
+          pred && (not power) && single_width
           &&
           match T.kind tree dest with
           | T.Internal -> (
@@ -688,11 +857,17 @@ let run ?(prune = true) ?(pruning = `Predictive) ?(widths = [ 1.0 ]) ?(area_frac
      candidate on equal slack) matches the old eager-result selection. *)
   let winners = Array.make nbuckets None in
   let consider (a : C.t) =
-    let idx = if counted then C.count a else 0 in
-    if idx < nbuckets then begin
-      match winners.(idx) with
-      | Some (prev : C.t) when prev.C.q >= a.C.q -> ()
-      | Some _ | None -> winners.(idx) <- Some a
+    (* the driver adds no energy, so every root candidate is already
+       within budget; the filter is belt-and-braces (and keeps the
+       Bad_power_bound mutation observable: it inflates [eff_budget]
+       everywhere uniformly) *)
+    if (not power) || a.C.p <= eff_budget then begin
+      let idx = if counted then C.count a else 0 in
+      if idx < nbuckets then begin
+        match winners.(idx) with
+        | Some (prev : C.t) when prev.C.q >= a.C.q -> ()
+        | Some _ | None -> winners.(idx) <- Some a
+      end
     end
   in
   List.iter consider !finals;
@@ -700,7 +875,11 @@ let run ?(prune = true) ?(pruning = `Predictive) ?(widths = [ 1.0 ]) ?(area_frac
     Array.map
       (Option.map (fun (a : C.t) ->
            let h = C.trace a in
-           (a.C.q, Trace.placements arena h, Trace.sizes arena h, C.count a)))
+           ( a.C.q,
+             Trace.placements arena h,
+             Trace.sizes arena h,
+             C.count a,
+             Trace.energy arena h )))
       winners
   in
   let minor1, major1 = alloc_counters () in
@@ -709,6 +888,7 @@ let run ?(prune = true) ?(pruning = `Predictive) ?(widths = [ 1.0 ]) ?(area_frac
       generated = !generated;
       pruned = !pruned;
       pred_pruned = !pred_pruned;
+      power_pruned = !power_pruned;
       peak_width = !peak_width;
       type_widths;
       (* per-run delta: under a memo the arena is resident and carries
@@ -720,8 +900,8 @@ let run ?(prune = true) ?(pruning = `Predictive) ?(widths = [ 1.0 ]) ?(area_frac
   in
   let by_count =
     Array.map
-      (Option.map (fun (slack, placements, sizes, count) ->
-           { slack; placements; sizes; count; stats }))
+      (Option.map (fun (slack, placements, sizes, count, energy) ->
+           { slack; placements; sizes; count; energy; stats }))
       reconstructed
   in
   let best =

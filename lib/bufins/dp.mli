@@ -33,6 +33,16 @@
 type mode =
   | Single  (** one candidate list per parity; unbounded buffer count *)
   | Per_count of int  (** lists indexed by exact buffer count [0..kmax] *)
+  | Power_bounded of { budget : float; kmax : int }
+      (** power mode (DESIGN.md §16): maximize slack subject to a total
+          buffer-energy [budget] (J). Bucketed by exact count like
+          [Per_count kmax]; the energy coordinate joins the dominance
+          relation (3-axis in delay mode, 5-axis in noise mode), branch
+          merges go exhaustive (a pairing off the (c, q) frontier can be
+          the only budget-feasible one), and insertions come from each
+          source group's (slack, energy) Pareto staircase. Over-budget
+          candidates are discarded before materialization and counted in
+          [power_pruned]. *)
 
 type mutation =
   | Cq_noise_prune
@@ -57,6 +67,12 @@ type mutation =
           class the incremental-vs-scratch oracle exists to catch. No
           effect on {!run} itself; applied by the oracle's replay
           harness. *)
+  | Bad_power_bound
+      (** the power budget the engine enforces inflated by 25%
+          ([loose_bound_factor]): [Power_bounded] runs accept solutions
+          whose total buffer energy exceeds the requested budget — the
+          bug class the power-vs-brute and power-monotonicity oracles
+          exist to catch. No effect outside power mode. *)
 (** Deliberately broken engine variants for verifying the verifier:
     [Check.Diff] and [buffopt fuzz --mutate] run campaigns against a
     mutated engine and must catch it (the mutation smoke of DESIGN.md
@@ -117,8 +133,13 @@ type stats = {
   pred_pruned : int;
       (** candidates the predictive engine discarded before
           materialization (DESIGN.md §12): no record, no arena node.
-          Always 0 under [`Sweep_only], in noise mode, and with
-          [prune = false]. *)
+          Always 0 under [`Sweep_only], in noise mode, with
+          [prune = false], and in power mode under the default
+          [`Predictive] (the extended kill needs [`Predictive_power]). *)
+  power_pruned : int;
+      (** would-be candidates the power budget discarded before
+          materialization (over-budget insertions and branch-merge
+          pairings; DESIGN.md §16). Always 0 outside [Power_bounded]. *)
   peak_width : int;
       (** widest single (parity, bucket) frontier observed at any node —
           the engine's working-set measure *)
@@ -150,6 +171,10 @@ type result = {
   placements : Rctree.Surgery.placement list;
   sizes : (int * float) list;  (** wire-width choices when sizing is enabled *)
   count : int;
+  energy : float;
+      (** total switching energy of the solution's buffers, J
+          ({!Trace.energy} of the winning candidate) — reported in every
+          mode, an objective only in [Power_bounded] *)
   stats : stats;  (** whole-run engine statistics (shared by all results) *)
 }
 
@@ -160,17 +185,19 @@ type outcome = {
 }
 
 val considered : stats -> int
-(** [generated + pred_pruned]: every candidate the run looked at,
-    materialized or not — the figure comparable across pruning modes. *)
+(** [generated + pred_pruned + power_pruned]: every candidate the run
+    looked at, materialized or not — the figure comparable across
+    pruning modes. *)
 
 val survivors : stats -> int
 (** [generated - pruned]: materialized candidates still alive when the
     run ended. The conservation identity the dp-invariants oracle
-    checks is [considered = survivors + pruned + pred_pruned]. *)
+    checks is
+    [considered = survivors + pruned + pred_pruned + power_pruned]. *)
 
 val run :
   ?prune:bool ->
-  ?pruning:[ `Predictive | `Sweep_only ] ->
+  ?pruning:[ `Predictive | `Predictive_power | `Sweep_only ] ->
   ?widths:float list ->
   ?area_frac:float ->
   ?mutation:mutation ->
@@ -196,7 +223,14 @@ val run :
     [`Sweep_only]; only [generated]/[pred_pruned]/[pruned]/[arena] and
     allocation figures move. Predictive pruning is automatically off
     (and [pred_pruned = 0]) in noise mode and under [prune = false],
-    where the slope argument does not apply. [widths] (multiples of
+    where the slope argument does not apply — and in [Power_bounded]
+    mode under the default [`Predictive], where the classic kill
+    ignores the energy axis. [`Predictive_power] opts into the
+    power-extended kill (the witness must also weakly dominate on
+    energy; {!Candidate.pred_kills_power}) at the climb and insertion
+    sites; branch merges stay exhaustive in power mode either way.
+    Outside power mode [`Predictive_power] behaves exactly like
+    [`Predictive]. [widths] (multiples of
     minimum width, default [[1.]]) enables simultaneous wire sizing per
     {!Rctree.Tree.resize_wire} with the given [area_frac] (default
     0.4); chosen widths are reported in [result.sizes] and applied with

@@ -87,3 +87,17 @@ let sizes a h =
   in
   check a h;
   walk [] h
+
+(* Total switching energy of the solution: the sum of every inserted
+   buffer's energy annotation. Same shape as the other walks — Buf/Resize
+   chains are consumed iteratively, recursion only at a Join. *)
+let energy a h =
+  let rec walk acc h =
+    match a.tab.(h) with
+    | Buf { buffer; pred; _ } -> walk (acc +. buffer.Tech.Buffer.energy) pred
+    | Resize { pred; _ } -> walk acc pred
+    | Leaf -> acc
+    | Join { left; right } -> walk (walk acc left) right
+  in
+  check a h;
+  walk 0.0 h

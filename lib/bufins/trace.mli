@@ -49,6 +49,13 @@ val sizes : arena -> handle -> (int * float) list
 (** Reconstruct the wire-sizing decisions recorded by [Resize] nodes,
     in the order the eager [sizes] lists used to be reported. *)
 
+val energy : arena -> handle -> float
+(** Total switching energy of the solution, J: the sum of
+    [buffer.energy] over every [Buf] node in the handle's ancestry.
+    The reconstruction-side counterpart of the candidate's [p]
+    coordinate — the energy-conservation fuzz oracle checks the two
+    agree exactly. *)
+
 val top_buffer : arena -> handle -> Tech.Buffer.t option
 (** The buffer a candidate's solution is currently headed by — the most
     recent [Buf] reachable through [Resize] links only. [None] for leaf

@@ -11,3 +11,7 @@ let run_max ?pruning ?memo ~max_buffers ~lib tree =
 
 let by_count ?pruning ?memo ~kmax ~lib tree =
   (Dp.run ?pruning ?memo ~noise:false ~mode:(Dp.Per_count kmax) ~lib tree).Dp.by_count
+
+let run_power ?pruning ?memo ~budget ~kmax ~lib tree =
+  best_exn
+    (Dp.run ?pruning ?memo ~noise:false ~mode:(Dp.Power_bounded { budget; kmax }) ~lib tree)

@@ -8,7 +8,7 @@
     engine. Outcomes are byte-identical either way. *)
 
 val run :
-  ?pruning:[ `Predictive | `Sweep_only ] ->
+  ?pruning:[ `Predictive | `Predictive_power | `Sweep_only ] ->
   ?memo:Dp.Memo.t ->
   lib:Tech.Buffer.t list ->
   Rctree.Tree.t ->
@@ -17,7 +17,7 @@ val run :
     succeeds (the zero-buffer candidate survives). *)
 
 val run_max :
-  ?pruning:[ `Predictive | `Sweep_only ] ->
+  ?pruning:[ `Predictive | `Predictive_power | `Sweep_only ] ->
   ?memo:Dp.Memo.t ->
   max_buffers:int ->
   lib:Tech.Buffer.t list ->
@@ -27,7 +27,7 @@ val run_max :
     (Table III). *)
 
 val by_count :
-  ?pruning:[ `Predictive | `Sweep_only ] ->
+  ?pruning:[ `Predictive | `Predictive_power | `Sweep_only ] ->
   ?memo:Dp.Memo.t ->
   kmax:int ->
   lib:Tech.Buffer.t list ->
@@ -35,3 +35,17 @@ val by_count :
   Dp.result option array
 (** Best slack for each exact buffer count [0..kmax] (Table IV pairs
     DelayOpt and BuffOpt at equal counts). *)
+
+val run_power :
+  ?pruning:[ `Predictive | `Predictive_power | `Sweep_only ] ->
+  ?memo:Dp.Memo.t ->
+  budget:float ->
+  kmax:int ->
+  lib:Tech.Buffer.t list ->
+  Rctree.Tree.t ->
+  Dp.result
+(** Power-bounded DelayOpt (DESIGN.md §16): best slack whose total
+    buffer energy stays within [budget] (J), using at most [kmax]
+    buffers. Always succeeds — the zero-buffer candidate carries zero
+    energy, so it survives any non-negative budget. Raises
+    [Invalid_argument] on a negative budget (from {!Dp.run}). *)

@@ -5,10 +5,10 @@ let f = Printf.sprintf "%.17g"
 (* {1 Writer} *)
 
 let buffer_clause (b : Tech.Buffer.t) =
-  Printf.sprintf "  (buffer %s %s %s %s %s %s)" b.Tech.Buffer.name
+  Printf.sprintf "  (buffer %s %s %s %s %s %s %s)" b.Tech.Buffer.name
     (if b.Tech.Buffer.inverting then "inv" else "ninv")
     (f b.Tech.Buffer.c_in) (f b.Tech.Buffer.r_b) (f b.Tech.Buffer.d_b)
-    (f b.Tech.Buffer.nm)
+    (f b.Tech.Buffer.nm) (f b.Tech.Buffer.energy)
 
 let wire_clause (w : T.wire) =
   Printf.sprintf "(wire %s %s %s %s)" (f w.T.length) (f w.T.res) (f w.T.cap) (f w.T.cur)
@@ -137,16 +137,21 @@ let num x =
   | Some v when Float.is_finite v -> v
   | _ -> fail "not a finite number: %S" a
 
-let parse_buffer = function
+let parse_buffer sx =
+  let polarity pol =
+    match atom pol with
+    | "inv" -> true
+    | "ninv" -> false
+    | p -> fail "buffer polarity must be inv or ninv, got %S" p
+  in
+  match sx with
+  (* 6-field clause: pre-power corpus entries, drive-class default energy *)
   | List [ Atom "buffer"; name; pol; c_in; r_b; d_b; nm ] ->
-      let inverting =
-        match atom pol with
-        | "inv" -> true
-        | "ninv" -> false
-        | p -> fail "buffer polarity must be inv or ninv, got %S" p
-      in
-      Tech.Buffer.make ~name:(atom name) ~inverting ~c_in:(num c_in) ~r_b:(num r_b)
-        ~d_b:(num d_b) ~nm:(num nm)
+      Tech.Buffer.make ~name:(atom name) ~inverting:(polarity pol) ~c_in:(num c_in)
+        ~r_b:(num r_b) ~d_b:(num d_b) ~nm:(num nm) ()
+  | List [ Atom "buffer"; name; pol; c_in; r_b; d_b; nm; energy ] ->
+      Tech.Buffer.make ~name:(atom name) ~inverting:(polarity pol) ~c_in:(num c_in)
+        ~r_b:(num r_b) ~d_b:(num d_b) ~nm:(num nm) ~energy:(num energy) ()
   | _ -> fail "malformed (buffer ...) clause"
 
 let parse_wire = function

@@ -239,12 +239,20 @@ let dp_invariants ?mutation (inst : Instance.t) =
   if s.Dp.pruned < 0 || s.Dp.pruned > s.Dp.generated then
     failf "stats: pruned %d out of %d generated" s.Dp.pruned s.Dp.generated;
   if s.Dp.pred_pruned < 0 then failf "stats: pred_pruned = %d" s.Dp.pred_pruned;
-  if Dp.considered s <> Dp.survivors s + s.Dp.pruned + s.Dp.pred_pruned then
-    failf "stats: conservation broken: considered %d <> survivors %d + pruned %d + pred %d"
-      (Dp.considered s) (Dp.survivors s) s.Dp.pruned s.Dp.pred_pruned;
+  if s.Dp.power_pruned <> 0 then
+    failf "stats: non-power run reports power_pruned = %d" s.Dp.power_pruned;
+  if
+    Dp.considered s
+    <> Dp.survivors s + s.Dp.pruned + s.Dp.pred_pruned + s.Dp.power_pruned
+  then
+    failf "stats: conservation broken: considered %d <> survivors %d + pruned %d + pred %d + power %d"
+      (Dp.considered s) (Dp.survivors s) s.Dp.pruned s.Dp.pred_pruned s.Dp.power_pruned;
   if s.Dp.peak_width <= 0 || s.Dp.peak_width > s.Dp.generated then
     failf "stats: peak width %d vs %d generated" s.Dp.peak_width s.Dp.generated;
-  if s.Dp.arena <= 0 then failf "stats: trace arena size %d" s.Dp.arena;
+  (* arena 0 is legitimate: every sink candidate shares the arena's
+     preallocated Leaf, so a net with no feasible insertion site
+     allocates nothing *)
+  if s.Dp.arena < 0 then failf "stats: trace arena size %d" s.Dp.arena;
   if s.Dp.arena > s.Dp.generated + 1 then
     failf "stats: arena %d exceeds generated %d + leaf" s.Dp.arena s.Dp.generated;
   if s.Dp.minor_words < 0.0 then failf "stats: minor words %.0f" s.Dp.minor_words;
@@ -291,8 +299,12 @@ let dp_trace ?mutation (inst : Instance.t) =
       failf "%s: claimed noise-clean winner violates %d margins (worst ratio %.3f)" what
         (List.length rep.Bufins.Eval.noise_violations)
         rep.Bufins.Eval.worst_noise_ratio;
-    if r.Dp.stats.Dp.arena <= 0 then
-      failf "%s: trace arena size %d" what r.Dp.stats.Dp.arena
+    (* a buffered winner must have paid arena nodes for its trace;
+       an unbuffered one on an insertion-free net legitimately pays
+       none (the shared Leaf is preallocated) *)
+    if r.Dp.stats.Dp.arena < 0 || (r.Dp.count > 0 && r.Dp.stats.Dp.arena = 0) then
+      failf "%s: trace arena size %d for a %d-buffer winner" what r.Dp.stats.Dp.arena
+        r.Dp.count
   in
   (match (Dp.run ?mutation ~noise:false ~mode:Dp.Single ~lib seg).Dp.best with
   | Some r -> check ~what:"delay winner" ~noise:false r
@@ -355,9 +367,13 @@ let pred_vs_sweep ?mutation (inst : Instance.t) =
         if a.Dp.sizes <> b.Dp.sizes then failf "%s: wire-size choices differ" what
   in
   let conserved what (s : Dp.stats) =
-    if Dp.considered s <> Dp.survivors s + s.Dp.pruned + s.Dp.pred_pruned then
-      failf "%s: accounting broken: considered %d <> survivors %d + pruned %d + pred %d"
+    if
+      Dp.considered s
+      <> Dp.survivors s + s.Dp.pruned + s.Dp.pred_pruned + s.Dp.power_pruned
+    then
+      failf "%s: accounting broken: considered %d <> survivors %d + pruned %d + pred %d + power %d"
         what (Dp.considered s) (Dp.survivors s) s.Dp.pruned s.Dp.pred_pruned
+        s.Dp.power_pruned
   in
   let check what ~noise ~mode =
     let p = Dp.run ?mutation ~pruning:`Predictive ~noise ~mode ~lib seg in
@@ -479,6 +495,154 @@ let incremental_vs_scratch ?mutation (inst : Instance.t) =
         Dp.Memo.clear memo_n);
     check step !tree
   done;
+  Pass
+
+(* {2 Power oracles (DESIGN.md §16)}
+
+   The budget ladder is a pure function of the instance — anchored at
+   the energy of the (unmutated) unconstrained delay optimum — so a
+   corpus entry replays the exact same budgets. *)
+
+let power_kmax = 8
+
+let power_ladder ~lib seg =
+  let un = Bufins.Vangin.run_max ~max_buffers:power_kmax ~lib seg in
+  let e = un.Dp.energy in
+  let cheapest =
+    List.fold_left
+      (fun acc (b : Tech.Buffer.t) -> Float.min acc b.Tech.Buffer.energy)
+      infinity lib
+  in
+  let priciest =
+    List.fold_left
+      (fun acc (b : Tech.Buffer.t) -> Float.max acc b.Tech.Buffer.energy)
+      0.0 lib
+  in
+  let generous = (float_of_int power_kmax *. priciest) +. e in
+  (un, [ 0.0; cheapest *. 0.99; e *. 0.5; e; generous ])
+
+(* accumulated frontier energy and the placement-list sum take different
+   addition orders, so the budget check leaves one part in 2^52 of
+   rounding headroom *)
+let fits_budget energy budget = energy <= budget +. (Float.abs budget *. 1e-12) +. 1e-27
+
+let check_energy ~what (r : Dp.result) =
+  let sum = Bufins.Buffopt.placements_energy r.Dp.placements in
+  if not (approx r.Dp.energy sum) then
+    failf "%s: frontier energy %.17g differs from the placements' sum %.17g" what
+      r.Dp.energy sum;
+  if r.Dp.energy < 0.0 then failf "%s: negative solution energy %.17g" what r.Dp.energy;
+  if r.Dp.count = 0 && r.Dp.energy <> 0.0 then
+    failf "%s: zero-buffer solution carries energy %.17g" what r.Dp.energy
+
+let power_vs_brute ?mutation (inst : Instance.t) =
+  let lib = inst.Instance.lib in
+  let seg = segmented inst in
+  if brute_cost lib seg > brute_budget then Skip "brute force intractable"
+  else begin
+    let kmax = max power_kmax (List.length (feasible_nodes seg)) in
+    let _, budgets = power_ladder ~lib seg in
+    List.iter
+      (fun budget ->
+        let outcome =
+          Dp.run ?mutation ~noise:false ~mode:(Dp.Power_bounded { budget; kmax }) ~lib seg
+        in
+        let r =
+          match outcome.Dp.best with
+          | Some r -> r
+          | None -> failf "power DP returned no solution at budget %.17g" budget
+        in
+        ignore
+          (must_hold ~what:"power solution" ~expect:(dp_expect r ~noise_clean:false) seg
+             r.Dp.placements);
+        check_energy ~what:"power winner" r;
+        if not (fits_budget r.Dp.energy budget) then
+          failf "winner energy %.17g exceeds the budget %.17g" r.Dp.energy budget;
+        match Bufins.Brute.best_slack_power ~budget ~lib seg with
+        | None -> failf "brute: no budget-feasible assignment (unbuffered should qualify)"
+        | Some (best, _, _) ->
+            if not (approx best r.Dp.slack) then
+              failf "power slack %.17g at budget %.17g disagrees with brute optimum %.17g"
+                r.Dp.slack budget best)
+      budgets;
+    Pass
+  end
+
+let energy_conservation ?mutation (inst : Instance.t) =
+  let lib = inst.Instance.lib in
+  let seg = segmented inst in
+  let stats_ok ~what ~power (s : Dp.stats) =
+    if
+      Dp.considered s
+      <> Dp.survivors s + s.Dp.pruned + s.Dp.pred_pruned + s.Dp.power_pruned
+    then
+      failf "%s: accounting broken: considered %d <> survivors %d + pruned %d + pred %d + power %d"
+        what (Dp.considered s) (Dp.survivors s) s.Dp.pruned s.Dp.pred_pruned
+        s.Dp.power_pruned;
+    if s.Dp.power_pruned < 0 then failf "%s: power_pruned = %d" what s.Dp.power_pruned;
+    if (not power) && s.Dp.power_pruned <> 0 then
+      failf "%s: non-power run reports power_pruned = %d" what s.Dp.power_pruned
+  in
+  let outcome_ok ~what ~power (o : Dp.outcome) =
+    (match o.Dp.best with
+    | Some r -> check_energy ~what:(what ^ " best") r
+    | None -> ());
+    Array.iteri
+      (fun k -> function
+        | None -> ()
+        | Some (r : Dp.result) ->
+            check_energy ~what:(Printf.sprintf "%s bucket %d" what k) r)
+      o.Dp.by_count;
+    stats_ok ~what ~power o.Dp.stats
+  in
+  outcome_ok ~what:"delay/single" ~power:false
+    (Dp.run ?mutation ~noise:false ~mode:Dp.Single ~lib seg);
+  outcome_ok ~what:"noise/single" ~power:false
+    (Dp.run ?mutation ~noise:true ~mode:Dp.Single ~lib seg);
+  outcome_ok ~what:"noise/per-count" ~power:false
+    (Dp.run ?mutation ~noise:true ~mode:(Dp.Per_count 6) ~lib seg);
+  let un, _ = power_ladder ~lib seg in
+  let budget = un.Dp.energy *. 0.5 in
+  outcome_ok ~what:"power" ~power:true
+    (Dp.run ?mutation ~noise:false
+       ~mode:(Dp.Power_bounded { budget; kmax = power_kmax })
+       ~lib seg);
+  Pass
+
+let power_monotonicity ?mutation (inst : Instance.t) =
+  let lib = inst.Instance.lib in
+  let seg = segmented inst in
+  let un, budgets = power_ladder ~lib seg in
+  let prev = ref neg_infinity in
+  List.iter
+    (fun budget ->
+      let outcome =
+        Dp.run ?mutation ~noise:false
+          ~mode:(Dp.Power_bounded { budget; kmax = power_kmax })
+          ~lib seg
+      in
+      let r =
+        match outcome.Dp.best with
+        | Some r -> r
+        | None -> failf "power DP returned no solution at budget %.17g" budget
+      in
+      if not (fits_budget r.Dp.energy budget) then
+        failf "winner energy %.17g exceeds the budget %.17g" r.Dp.energy budget;
+      if r.Dp.slack < !prev then
+        failf "slack regressed under a larger budget: %.17g after %.17g at budget %.17g"
+          r.Dp.slack !prev budget;
+      prev := r.Dp.slack)
+    budgets;
+  (* the generous final budget is unconstrained: the Per_count optimum
+     (same kmax, same engine arithmetic) must be reproduced bit-for-bit *)
+  let reference = Dp.run ?mutation ~noise:false ~mode:(Dp.Per_count power_kmax) ~lib seg in
+  (match (reference.Dp.best, !prev) with
+  | Some b, s when b.Dp.slack <> s ->
+      failf "unconstrained-budget slack %.17g differs from Per_count optimum %.17g" s
+        b.Dp.slack
+  | None, _ -> failf "Per_count reference returned no solution"
+  | Some _, _ -> ());
+  ignore un;
   Pass
 
 (* {2 Parser round-trip oracle}
@@ -637,6 +801,9 @@ let run ?mutation (inst : Instance.t) =
     | Instance.Pred_vs_sweep -> pred_vs_sweep ?mutation inst
     | Instance.Incremental_vs_scratch -> incremental_vs_scratch ?mutation inst
     | Instance.Parser_roundtrip -> parser_roundtrip ?mutation inst
+    | Instance.Power_vs_brute -> power_vs_brute ?mutation inst
+    | Instance.Energy_conservation -> energy_conservation ?mutation inst
+    | Instance.Power_monotonicity -> power_monotonicity ?mutation inst
   with
   | v -> tag v
   | exception Failed m -> tag (Fail m)

@@ -3,20 +3,20 @@ module T = Rctree.Tree
 let process = Tech.Process.default
 
 let small_buffer =
-  Tech.Buffer.make ~name:"b0" ~inverting:false ~c_in:2e-15 ~r_b:100.0 ~d_b:30e-12 ~nm:0.6
+  Tech.Buffer.make ~name:"b0" ~inverting:false ~c_in:2e-15 ~r_b:100.0 ~d_b:30e-12 ~nm:0.6 ()
 
 let single_lib = [ small_buffer ]
 
 let two_lib =
   [
     small_buffer;
-    Tech.Buffer.make ~name:"i0" ~inverting:true ~c_in:1.5e-15 ~r_b:140.0 ~d_b:15e-12 ~nm:0.6;
+    Tech.Buffer.make ~name:"i0" ~inverting:true ~c_in:1.5e-15 ~r_b:140.0 ~d_b:15e-12 ~nm:0.6 ();
   ]
 
 let mixed_lib =
   [
-    Tech.Buffer.make ~name:"fastlow" ~inverting:false ~c_in:2e-15 ~r_b:100.0 ~d_b:10e-12 ~nm:0.3;
-    Tech.Buffer.make ~name:"slowhigh" ~inverting:false ~c_in:3e-15 ~r_b:120.0 ~d_b:30e-12 ~nm:0.9;
+    Tech.Buffer.make ~name:"fastlow" ~inverting:false ~c_in:2e-15 ~r_b:100.0 ~d_b:10e-12 ~nm:0.3 ();
+    Tech.Buffer.make ~name:"slowhigh" ~inverting:false ~c_in:3e-15 ~r_b:120.0 ~d_b:30e-12 ~nm:0.9 ();
   ]
 
 (* The random-attachment tree shape shared by [theorem5_tree] and
@@ -94,7 +94,8 @@ let random_buffers rng =
         ~c_in:(Util.Rng.range rng 1e-15 10e-15)
         ~r_b:(Util.Rng.range rng 80.0 800.0)
         ~d_b:(Util.Rng.range rng 5e-12 60e-12)
-        ~nm:(Util.Rng.range rng 0.3 1.0))
+        ~nm:(Util.Rng.range rng 0.3 1.0)
+        ~energy:(Util.Rng.range rng 1e-15 20e-15) ())
 
 let random_design rng =
   let cfg =
@@ -143,6 +144,23 @@ let instance_for oracle rng =
          libraries from the instance's content (Diff), so any valid
          instance works — and corpus replay stays meaningful *)
       Instance.make ~tree:(random_net rng) ~lib:Tech.Lib.default_library ~seg_len:500e-6
+        oracle
+  | Instance.Power_vs_brute ->
+      (* brute-tractable trees; libraries with distinct energies (and an
+         inverting buffer) so budgets actually separate solutions *)
+      let lib =
+        match Util.Rng.int rng 3 with 0 -> single_lib | 1 -> two_lib | _ -> mixed_lib
+      in
+      Instance.make ~tree:(theorem5_tree rng) ~lib ~seg_len:1.5e-3 oracle
+  | Instance.Energy_conservation ->
+      Instance.make ~tree:(random_net rng) ~lib:Tech.Lib.default_library ~seg_len:500e-6
+        oracle
+  | Instance.Power_monotonicity ->
+      (* coarser segmenting than the other DP oracles: the ladder runs
+         the budgeted DP five times plus a Per_count reference per
+         instance, and the 3-axis frontier grows steeply with node
+         count; monotonicity itself does not depend on the granularity *)
+      Instance.make ~tree:(random_net rng) ~lib:Tech.Lib.default_library ~seg_len:1e-3
         oracle
 
 let instance rng =

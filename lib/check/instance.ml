@@ -11,6 +11,9 @@ type oracle =
   | Pred_vs_sweep
   | Incremental_vs_scratch
   | Parser_roundtrip
+  | Power_vs_brute
+  | Energy_conservation
+  | Power_monotonicity
 
 let all_oracles =
   [
@@ -24,6 +27,9 @@ let all_oracles =
     Pred_vs_sweep;
     Incremental_vs_scratch;
     Parser_roundtrip;
+    Power_vs_brute;
+    Energy_conservation;
+    Power_monotonicity;
   ]
 
 let oracle_name = function
@@ -37,6 +43,9 @@ let oracle_name = function
   | Pred_vs_sweep -> "pred-vs-sweep"
   | Incremental_vs_scratch -> "incremental-vs-scratch"
   | Parser_roundtrip -> "parser"
+  | Power_vs_brute -> "power-vs-brute"
+  | Energy_conservation -> "energy-conservation"
+  | Power_monotonicity -> "power-monotonicity"
 
 let oracle_of_name s = List.find_opt (fun o -> oracle_name o = s) all_oracles
 

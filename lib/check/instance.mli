@@ -55,6 +55,24 @@ type oracle =
           random inputs are seeded from the instance's content, so a
           corpus entry replays the same battery. DP [mutation]
           campaigns skip this oracle: there is no engine under test. *)
+  | Power_vs_brute
+      (** [Dp.Power_bounded] agrees with the exhaustive budget-
+          constrained optimum ({!Bufins.Brute.best_slack_power}) at a
+          ladder of budgets spanning zero to unconstrained, and every
+          winner's energy respects the requested budget — the check the
+          {!Bufins.Dp.Bad_power_bound} mutation must trip *)
+  | Energy_conservation
+      (** the energy the frontier accumulated on the winning candidate
+          ([result.energy], reconstructed via {!Bufins.Trace.energy})
+          equals the sum of the reconstructed placements' buffer
+          energies ({!Bufins.Buffopt.placements_energy}), across delay /
+          noise / power modes and every by_count bucket; power-mode
+          stats keep the extended conservation identity *)
+  | Power_monotonicity
+      (** a larger energy budget never yields a worse slack: across an
+          increasing budget ladder, [Dp.Power_bounded] slacks are
+          non-decreasing, each winner fits its budget, and an
+          unconstrained budget reproduces the [Per_count] optimum *)
 
 val all_oracles : oracle list
 

@@ -98,6 +98,7 @@ type report = {
   ok : int;
   failed : int;
   buffers : int;
+  energy : float;
   worst_slack : float;
   dp : Bufins.Dp.stats;
   timing : timing;
@@ -125,8 +126,9 @@ let optimize ?domains ?pool ?chunk ?retries ?seg_len ?kmax ~algorithm ~lib jobs
   let results = Array.mapi (fun i outcome -> { net = names.(i); outcome }) outcomes in
   (* merge in job order: the aggregate is independent of scheduling *)
   let ok = ref 0 and failed = ref 0 and buffers = ref 0 in
+  let energy = ref 0.0 in
   let worst = ref infinity in
-  let gen = ref 0 and pruned = ref 0 and pred = ref 0 and peak = ref 0 in
+  let gen = ref 0 and pruned = ref 0 and pred = ref 0 and ppruned = ref 0 and peak = ref 0 in
   let arena = ref 0 and minor = ref 0.0 and major = ref 0.0 in
   (* per-type peaks take the elementwise max across nets; libraries are
      uniform within a batch, so the first net fixes the width *)
@@ -137,11 +139,13 @@ let optimize ?domains ?pool ?chunk ?retries ?seg_len ?kmax ~algorithm ~lib jobs
       | Done (r : Bufins.Buffopt.run) ->
           incr ok;
           buffers := !buffers + r.Bufins.Buffopt.count;
+          energy := !energy +. r.Bufins.Buffopt.energy;
           worst := Float.min !worst r.Bufins.Buffopt.predicted_slack;
           let s = r.Bufins.Buffopt.stats in
           gen := !gen + s.Bufins.Dp.generated;
           pruned := !pruned + s.Bufins.Dp.pruned;
           pred := !pred + s.Bufins.Dp.pred_pruned;
+          ppruned := !ppruned + s.Bufins.Dp.power_pruned;
           peak := max !peak s.Bufins.Dp.peak_width;
           let tw = s.Bufins.Dp.type_widths in
           if Array.length !twidths < Array.length tw then begin
@@ -160,12 +164,14 @@ let optimize ?domains ?pool ?chunk ?retries ?seg_len ?kmax ~algorithm ~lib jobs
     ok = !ok;
     failed = !failed;
     buffers = !buffers;
+    energy = !energy;
     worst_slack = !worst;
     dp =
       {
         Bufins.Dp.generated = !gen;
         pruned = !pruned;
         pred_pruned = !pred;
+        power_pruned = !ppruned;
         peak_width = !peak;
         type_widths = !twidths;
         arena = !arena;
@@ -190,18 +196,18 @@ let signature r =
       match outcome with
       | Done (run : Bufins.Buffopt.run) ->
           let s = run.Bufins.Buffopt.stats in
-          Printf.bprintf b "%s ok count=%d slack=%.17g dp=%d/%d/%d/%d\n" net
+          Printf.bprintf b "%s ok count=%d slack=%.17g energy=%.17g dp=%d/%d/%d/%d\n" net
             run.Bufins.Buffopt.count run.Bufins.Buffopt.predicted_slack
-            s.Bufins.Dp.generated s.Bufins.Dp.pruned s.Bufins.Dp.pred_pruned
-            s.Bufins.Dp.peak_width
+            run.Bufins.Buffopt.energy s.Bufins.Dp.generated s.Bufins.Dp.pruned
+            s.Bufins.Dp.pred_pruned s.Bufins.Dp.peak_width
       | Failed { attempts = _; error } ->
           (* attempts depend on the retry knob, not on scheduling, but
              keep the signature about the verdict alone *)
           Printf.bprintf b "%s FAILED %s\n" net error)
     r.results;
   Printf.bprintf b
-    "aggregate ok=%d failed=%d buffers=%d worst=%.17g dp=%d/%d/%d/%d\n" r.ok
-    r.failed r.buffers r.worst_slack r.dp.Bufins.Dp.generated
+    "aggregate ok=%d failed=%d buffers=%d energy=%.17g worst=%.17g dp=%d/%d/%d/%d\n" r.ok
+    r.failed r.buffers r.energy r.worst_slack r.dp.Bufins.Dp.generated
     r.dp.Bufins.Dp.pruned r.dp.Bufins.Dp.pred_pruned r.dp.Bufins.Dp.peak_width;
   Buffer.contents b
 
@@ -220,11 +226,12 @@ let sched_line (s : Pool.stats) =
 let summary r =
   let t = r.timing in
   Printf.sprintf
-    "batch: %d nets optimized, %d infeasible/failed | %d buffers | worst \
+    "batch: %d nets optimized, %d infeasible/failed | %d buffers, %.1f fJ \
+     buffer energy | worst \
      predicted slack %s | %d domains, %.3f s wall (%.1f nets/s), per-net \
      %.2f/%.2f/%.2f ms min/mean/max | sched %s | dp %d generated, %d \
      pred-pruned, alloc %.1f/%.1f Mwords minor/major, %d trace nodes"
-    r.ok r.failed r.buffers
+    r.ok r.failed r.buffers (r.energy *. 1e15)
     (* every net failed: there is no worst slack, and printing the nan
        that Float.min infinity produces reads like a computed value *)
     (if r.ok = 0 then "n/a" else Printf.sprintf "%.1f ps" (r.worst_slack *. 1e12))

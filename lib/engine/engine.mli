@@ -88,6 +88,7 @@ type report = {
   ok : int;
   failed : int;
   buffers : int;  (** total inserted over successful nets *)
+  energy : float;  (** total buffer switching energy over successful nets, J *)
   worst_slack : float;  (** min predicted slack over successful nets; [infinity] when none *)
   dp : Bufins.Dp.stats;  (** candidate-engine rollup over successful nets *)
   timing : timing;
@@ -122,7 +123,7 @@ val signature : report -> string
     determinism tests compare these. *)
 
 val summary : report -> string
-(** One human-readable paragraph: net/buffer totals, failures, wall
-    time, throughput, per-net latency spread, and worker utilization /
-    steal counts. When every net failed the worst slack prints as
-    [n/a], never [nan]. *)
+(** One human-readable paragraph: net/buffer totals, total buffer
+    energy, failures, wall time, throughput, per-net latency spread,
+    and worker utilization / steal counts. When every net failed the
+    worst slack prints as [n/a], never [nan]. *)

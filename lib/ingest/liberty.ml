@@ -339,6 +339,7 @@ let of_string ?(path = "<string>") text =
         (fun s ->
           match s with
           | Group ({ g_name = "pin"; _ } as pg) -> Some (interp_pin pg)
+          | Attr ("cell_leakage_power", _, _) -> None (* interpreted below *)
           | Attr _ | Complex _ ->
               warn ();
               None
@@ -354,6 +355,16 @@ let of_string ?(path = "<string>") text =
           (* no direction: guess from shape, and flag it *)
           warn ();
           if d = "output" then p.p_fn <> None || p.p_timing <> [] else p.p_fn = None && p.p_timing = []
+    in
+    (* per-cell switching-energy annotation (DESIGN.md §16): the subset
+       reads the simple cell-level [cell_leakage_power] attribute in fJ
+       (the same decimal scale as capacitance), the writer's canonical
+       form. Absent on a buffer cell it is a warning, not fatal — the
+       buffer falls back to its drive-class default energy. *)
+    let energy_attr =
+      List.find_map
+        (function Attr ("cell_leakage_power", v, l) -> Some (v, l) | _ -> None)
+        g.g_stmts
     in
     let ins = List.filter (fun p -> dir p "input") pins in
     let outs = List.filter (fun p -> dir p "output") pins in
@@ -391,15 +402,26 @@ let of_string ?(path = "<string>") text =
             (fun fn ->
               let fn = normalize_fn fn and a = first_in.p_name in
               let mk inverting =
+                let energy =
+                  match energy_attr with
+                  | Some (v, l) -> Some (apply ~path (Exact (-15)) l v)
+                  | None ->
+                      (* unannotated buffer cell: drive-class default *)
+                      warn ();
+                      None
+                in
                 (* {!Tech.Buffer.make} asserts sane electricals; a
                    truncated or miscaled file can produce garbage here
                    (e.g. a missing timing group defaults to 0 ohm),
                    which makes the cell unusable as a buffer — not a
                    crash *)
-                if c_in >= 0.0 && r_out > 0.0 && d_intr >= 0.0 && nm > 0.0 then
+                if
+                  c_in >= 0.0 && r_out > 0.0 && d_intr >= 0.0 && nm > 0.0
+                  && match energy with Some e -> e >= 0.0 | None -> true
+                then
                   buffers :=
                     Tech.Buffer.make ~name:cname ~inverting ~c_in ~r_b:r_out ~d_b:d_intr
-                      ~nm
+                      ~nm ?energy ()
                     :: !buffers
                 else warn ()
               in
@@ -476,6 +498,7 @@ let to_string ?(name = "buffopt") ?(buffers = []) cells =
   List.iter
     (fun (bf : Tech.Buffer.t) ->
       bpf b "  cell (%s) {\n" bf.name;
+      bpf b "    cell_leakage_power : %s;\n" (Util.Fx.to_scaled ~exp10:(-15) bf.energy);
       let fn = if bf.inverting then "!a" else "a" in
       emit_pins b ~inputs:[ "a" ] ~c_in:bf.c_in ~nm:bf.nm ~fn:(Some fn) ~r_out:bf.r_b
         ~d_intr:bf.d_b;

@@ -124,8 +124,10 @@ let install t jobs =
       | Engine.Done (Some (r : Bufins.Buffopt.run)) ->
           Hashtbl.replace t.cache
             (fingerprint t t.nets.(i))
-            (Printf.sprintf "slack_ps=%.3f buffers=%d" (r.Bufins.Buffopt.predicted_slack *. 1e12)
-               r.Bufins.Buffopt.count)
+            (Printf.sprintf "slack_ps=%.3f buffers=%d energy_fj=%.3f"
+               (r.Bufins.Buffopt.predicted_slack *. 1e12)
+               r.Bufins.Buffopt.count
+               (r.Bufins.Buffopt.energy *. 1e15))
       | Engine.Done None | Engine.Failed _ -> incr infeasible)
     outcomes;
   let sinks = Array.fold_left (fun a ns -> a + Array.length ns.sinks) 0 t.nets in
@@ -167,9 +169,10 @@ let do_optimize t i =
           if warm then t.incremental <- t.incremental + 1
           else t.full <- t.full + 1;
           let payload =
-            Printf.sprintf "slack_ps=%.3f buffers=%d"
+            Printf.sprintf "slack_ps=%.3f buffers=%d energy_fj=%.3f"
               (r.Bufins.Buffopt.predicted_slack *. 1e12)
               r.Bufins.Buffopt.count
+              (r.Bufins.Buffopt.energy *. 1e15)
           in
           if Hashtbl.length t.cache >= cache_cap then Hashtbl.reset t.cache;
           Hashtbl.replace t.cache key payload;

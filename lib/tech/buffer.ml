@@ -5,11 +5,20 @@ type t = {
   r_b : float;
   d_b : float;
   nm : float;
+  energy : float;
 }
 
-let make ~name ~inverting ~c_in ~r_b ~d_b ~nm =
+(* Default switching energy from the drive class: E ~ c_in * Vdd^2 with
+   Vdd = 1.2 V, so larger drives (bigger input pins) cost more per
+   insertion. Monotone in c_in, which is all the power DP needs when the
+   library carries no explicit energy annotation. *)
+let default_energy ~c_in = c_in *. 1.44
+
+let make ~name ~inverting ~c_in ~r_b ~d_b ~nm ?energy () =
   assert (c_in >= 0.0 && r_b > 0.0 && d_b >= 0.0 && nm > 0.0);
-  { name; inverting; c_in; r_b; d_b; nm }
+  let energy = match energy with Some e -> e | None -> default_energy ~c_in in
+  assert (energy >= 0.0);
+  { name; inverting; c_in; r_b; d_b; nm; energy }
 
 let equal a b = a.name = b.name
 

@@ -1,5 +1,5 @@
 let buf name ~inverting ~c_in ~r_b ~d_b =
-  Buffer.make ~name ~inverting ~c_in ~r_b ~d_b ~nm:0.8
+  Buffer.make ~name ~inverting ~c_in ~r_b ~d_b ~nm:0.8 ()
 
 let default_library =
   [
@@ -36,6 +36,7 @@ type prepared = {
   d_b : float array;
   nm : float array;
   inverting : bool array;
+  energy : float array;
 }
 
 let prepare lib =
@@ -52,6 +53,7 @@ let prepare lib =
     d_b = Array.map (fun (b : Buffer.t) -> b.d_b) bufs;
     nm = Array.map (fun (b : Buffer.t) -> b.nm) bufs;
     inverting = Array.map (fun (b : Buffer.t) -> b.inverting) bufs;
+    energy = Array.map (fun (b : Buffer.t) -> b.energy) bufs;
   }
 
 let size p = Array.length p.bufs

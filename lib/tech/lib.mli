@@ -30,6 +30,7 @@ type prepared = {
   d_b : float array;
   nm : float array;
   inverting : bool array;
+  energy : float array;  (** per-insertion switching energy in [bufs] order, J *)
 }
 (** A buffer library preprocessed once per optimizer run: the DP inner
     loops iterate the unboxed parameter arrays instead of chasing a

@@ -258,6 +258,76 @@ let tests =
                   (pname ^ " noise placements") expect (sol r);
                 feq_rel (pname ^ " noise slack") ~eps:1e-12 expect_slack r.Bufins.Dp.slack)
           [ ("pred", `Predictive); ("sweep", `Sweep_only) ]);
+    case "golden: power-off outcomes are pinned bit for bit, by_count included" (fun () ->
+        (* The power-axis PR's hard invariant: with power mode off, the
+           engine's whole observable outcome — every per-count slack to
+           the last bit (hex float), every placement node, every buffer
+           size, and the noise-mode solution — is frozen at the pre-power
+           values, under both candidate engines. The five PR-1 regression
+           instances plus the multi-type default-library net. *)
+        let sol (r : Bufins.Dp.result) =
+          String.concat ","
+            (List.map
+               (fun (p : Rctree.Surgery.placement) ->
+                 Printf.sprintf "%d/%s" p.Rctree.Surgery.node
+                   p.Rctree.Surgery.buffer.Tech.Buffer.name)
+               r.Bufins.Dp.placements)
+        in
+        let line ~pruning ~lib seg =
+          let o = Bufins.Dp.run ~pruning ~noise:false ~mode:(Bufins.Dp.Per_count 8) ~lib seg in
+          let cells =
+            Array.to_list
+              (Array.mapi
+                 (fun k r ->
+                   match r with
+                   | None -> Printf.sprintf "%d=-" k
+                   | Some (r : Bufins.Dp.result) ->
+                       Printf.sprintf "%d=%h:%s" k r.Bufins.Dp.slack (sol r))
+                 o.Bufins.Dp.by_count)
+          in
+          let noise =
+            match Bufins.Alg3.run ~pruning ~lib seg with
+            | None -> "noise=-"
+            | Some r -> Printf.sprintf "noise=%h:%s" r.Bufins.Dp.slack (sol r)
+          in
+          String.concat "|" (cells @ [ noise ])
+        in
+        let golden =
+          [
+            ( 0,
+              "0=0x1.322ad2fa34deap-31:|1=0x1.919c3600acbc2p-31:1/fastlow|2=0x1.a2074ca85de8p-31:2/fastlow,1/fastlow|3=0x1.a3d06eba64f7p-31:4/fastlow,2/fastlow,1/fastlow|4=-|5=-|6=-|7=-|8=-|noise=0x1.a3c25bd930d24p-31:4/fastlow,2/slowhigh,1/fastlow" );
+            ( 1,
+              "0=0x1.a7c36ea11cf2cp-32:|1=0x1.4d0a251809b92p-31:2/fastlow|2=0x1.67b017dbad60fp-31:2/fastlow,1/fastlow|3=0x1.6fe9516cda99bp-31:3/fastlow,2/fastlow,1/fastlow|4=-|5=-|6=-|7=-|8=-|noise=0x1.621ba4e9c1cfap-31:3/fastlow,2/fastlow,1/slowhigh" );
+            ( 2,
+              "0=0x1.e03c772ed8d3ap-31:|1=0x1.0db8a5a5d78bdp-30:1/fastlow|2=0x1.10d953397aa72p-30:2/fastlow,1/fastlow|3=-|4=-|5=-|6=-|7=-|8=-|noise=0x1.09ff893048994p-30:2/fastlow,1/slowhigh" );
+            ( 3,
+              "0=0x1.ad5e926f81de8p-34:|1=0x1.6b62ba3da003ep-33:6/fastlow|2=0x1.ec683fbc902b1p-33:6/fastlow,4/fastlow|3=0x1.18a3b4ea2b6dep-32:6/fastlow,4/fastlow,1/fastlow|4=-|5=-|6=-|7=-|8=-|noise=0x1.facb2f0021bd6p-33:6/slowhigh,4/slowhigh,1/slowhigh" );
+            ( 4,
+              "0=0x1.1334c7f2720b6p-31:|1=0x1.5abd3bd9f0fbep-31:1/fastlow|2=0x1.6409045a5d27bp-31:2/fastlow,1/fastlow|3=0x1.65893b17970f2p-31:3/fastlow,2/fastlow,1/fastlow|4=-|5=-|6=-|7=-|8=-|noise=0x1.5840693ad19e2p-31:3/fastlow,2/fastlow,1/slowhigh" );
+          ]
+        in
+        let multi_golden =
+          "0=-0x1.0ea47786a8cd7p-29:|1=-0x1.8bba1ff79b504p-32:24/bufx32|2=0x1.a81d2cd2267a4p-33:12/bufx32,26/bufx32|3=0x1.419fa8d41c112p-32:6/invx16,12/invx16,26/bufx32|4=0x1.9ccb54bf9fdbep-32:6/invx16,12/invx16,20/bufx32,26/bufx32|5=0x1.e983ba0a92b22p-32:6/invx16,12/invx16,20/invx16,26/invx16,39/bufx32|6=0x1.0d025bfdd88a5p-31:6/invx16,12/invx16,21/invx16,26/bufx32,27/invx1,40/invx16|7=0x1.1d5f70d875369p-31:49/bufx1,6/invx16,12/invx16,21/invx16,26/bufx32,27/invx1,40/invx16|8=0x1.2bf00fb892979p-31:49/bufx1,6/invx16,12/invx16,20/invx16,25/invx16,27/bufx1,37/invx16,41/invx16|noise=0x1.461ce24fc0ff9p-31:50/invx16,49/invx1,47/bufx1,4/invx16,8/invx16,12/invx16,14/bufx8,13/invx1,18/invx16,22/invx16,26/invx16,32/invx16,30/invx16,28/invx16,27/invx1,37/invx16,41/invx16"
+        in
+        List.iter
+          (fun (pname, pruning) ->
+            List.iter
+              (fun (seed, expect) ->
+                let rng = Util.Rng.create seed in
+                let seg = Rctree.Segment.refine (lowmargin_tree rng) ~max_len:1.5e-3 in
+                Alcotest.(check string)
+                  (Printf.sprintf "seed %d %s outcome" seed pname)
+                  expect
+                  (line ~pruning ~lib:mixed_lib seg))
+              golden;
+            let tree =
+              Fixtures.random_net (Util.Rng.create 42) process ~max_sinks:5 ~max_len:5e-3
+            in
+            let seg = Rctree.Segment.refine tree ~max_len:500e-6 in
+            Alcotest.(check string)
+              (pname ^ " multi-type outcome")
+              multi_golden (line ~pruning ~lib seg))
+          [ ("pred", `Predictive); ("sweep", `Sweep_only) ]);
     case "finer segmenting can rescue infeasibility" (fun () ->
         let t = Fixtures.two_pin process ~len:12e-3 in
         let coarse = Rctree.Segment.refine t ~max_len:6e-3 in

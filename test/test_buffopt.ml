@@ -129,6 +129,66 @@ let tests =
         with
         | Some bo, Some a3 -> bo.Bufins.Buffopt.count <= a3.Bufins.Buffopt.count
         | _, _ -> true);
+    qcase ~count:25 "power budget caps energy; generous budget recovers delayopt" workload_gen
+      (fun t ->
+        (* the budgeted mode is count-bucketed at kmax (16), so its
+           generous-budget optimum is Delayopt 16's, not the unbounded
+           vangin one *)
+        match Bufins.Buffopt.optimize (Bufins.Buffopt.Delayopt 16) ~lib t with
+        | None -> false
+        | Some unc ->
+            let run b = Bufins.Buffopt.optimize (Bufins.Buffopt.Power_bounded b) ~lib t in
+            let half = unc.Bufins.Buffopt.energy *. 0.5 in
+            (match run half with
+            | Some r ->
+                r.Bufins.Buffopt.energy <= half +. 1e-27
+                && Util.Fx.approx ~rel:1e-12 ~abs:1e-27 r.Bufins.Buffopt.energy
+                     (Bufins.Buffopt.placements_energy r.Bufins.Buffopt.placements)
+            | None -> false)
+            &&
+            match run (unc.Bufins.Buffopt.energy *. 2.0 +. 1e-15) with
+            | Some r -> r.Bufins.Buffopt.predicted_slack >= unc.Bufins.Buffopt.predicted_slack
+            | None -> false);
+    qcase ~count:25 "downsize never raises energy and respects its floors" workload_gen
+      (fun t ->
+        match Bufins.Buffopt.optimize Bufins.Buffopt.Vangin_max_slack ~lib t with
+        | None -> false
+        | Some r ->
+            let d = Bufins.Buffopt.downsize ~lib r in
+            let floor = Float.min r.Bufins.Buffopt.report.Bufins.Eval.slack 0.0 in
+            let cap = Float.max r.Bufins.Buffopt.report.Bufins.Eval.worst_noise_ratio 1.0 in
+            d.Bufins.Buffopt.energy <= r.Bufins.Buffopt.energy +. 1e-27
+            && d.Bufins.Buffopt.count <= r.Bufins.Buffopt.count
+            && d.Bufins.Buffopt.report.Bufins.Eval.slack >= floor -. 1e-15
+            && d.Bufins.Buffopt.report.Bufins.Eval.worst_noise_ratio <= cap +. 1e-9
+            && Util.Fx.approx ~rel:1e-12 ~abs:1e-27 d.Bufins.Buffopt.energy
+                 (Bufins.Buffopt.placements_energy d.Bufins.Buffopt.placements));
+    case "downsize shrinks gratuitous repeaters but keeps load-bearing ones" (fun () ->
+        (* a relaxed 6 mm net: max-slack picks four invx16 repeaters that
+           a 10 ns RAT does not need. Removal would flip polarity
+           (inverters only leave in pairs), so downsize shrinks them to
+           the cheapest inverter instead — a large energy cut at the same
+           count, even with the floor disabled *)
+        let t = relax_rats (Fixtures.two_pin process ~len:6e-3) 10e-9 in
+        (match Bufins.Buffopt.optimize Bufins.Buffopt.Vangin_max_slack ~lib t with
+        | Some r when r.Bufins.Buffopt.count > 0 ->
+            let d = Bufins.Buffopt.downsize ~slack_floor:neg_infinity ~lib r in
+            Alcotest.(check int) "count unchanged (polarity)" r.Bufins.Buffopt.count
+              d.Bufins.Buffopt.count;
+            Alcotest.(check bool) "energy strictly cut" true
+              (d.Bufins.Buffopt.energy < r.Bufins.Buffopt.energy *. 0.5)
+        | Some _ -> Alcotest.fail "expected max-slack to insert buffers"
+        | None -> Alcotest.fail "infeasible");
+        (* a long noisy net: buffers are load-bearing (noise-clean needs
+           them), so the default guards must keep the solution clean *)
+        let t = Fixtures.two_pin process ~len:10e-3 in
+        match Bufins.Buffopt.optimize Bufins.Buffopt.Buffopt ~lib t with
+        | Some r ->
+            let d = Bufins.Buffopt.downsize ~lib r in
+            Alcotest.(check bool) "still noise-clean" true
+              (Bufins.Eval.noise_clean d.Bufins.Buffopt.report);
+            Alcotest.(check bool) "kept some buffers" true (d.Bufins.Buffopt.count > 0)
+        | None -> Alcotest.fail "infeasible");
   ]
 
 let suites = [ ("bufins.buffopt", tests) ]

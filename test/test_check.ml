@@ -242,7 +242,7 @@ let fuzz_tests =
            shrunk counterexample of at most 4 sinks that fails mutated,
            passes healthy, and replays from its corpus text *)
         let r =
-          Check.Fuzz.campaign ~mutation:Bufins.Dp.Cq_noise_prune ~jobs:1 ~seed:1 ~count:60
+          Check.Fuzz.campaign ~mutation:Bufins.Dp.Cq_noise_prune ~jobs:1 ~seed:5 ~count:60
             ()
         in
         Alcotest.(check bool) "campaign failed" true (r.Check.Fuzz.failures <> []);
@@ -313,6 +313,26 @@ let fuzz_tests =
           (fun (f : Check.Fuzz.failure) ->
             let shrunk = f.Check.Fuzz.shrunk in
             (match Check.Diff.run ~mutation:Bufins.Dp.Stale_memo shrunk with
+            | Check.Diff.Fail _ -> ()
+            | _ -> Alcotest.fail "shrunk instance no longer fails mutated");
+            match Check.Diff.run shrunk with
+            | Check.Diff.Pass | Check.Diff.Skip _ -> ()
+            | Check.Diff.Fail m -> Alcotest.failf "shrunk instance fails healthy: %s" m)
+          r.Check.Fuzz.failures);
+    case "mutation smoke: a loosened power bound is caught" (fun () ->
+        (* DESIGN.md section 16: inflate the energy budget by 25% at every
+           admission point, so the DP returns solutions the real budget
+           forbids; the power oracles must flag the over-budget winner,
+           with a shrunk repro that fails mutated and passes healthy *)
+        let r =
+          Check.Fuzz.campaign ~mutation:Bufins.Dp.Bad_power_bound
+            ~oracle:Check.Instance.Power_vs_brute ~jobs:1 ~seed:1 ~count:40 ()
+        in
+        Alcotest.(check bool) "campaign failed" true (r.Check.Fuzz.failures <> []);
+        List.iter
+          (fun (f : Check.Fuzz.failure) ->
+            let shrunk = f.Check.Fuzz.shrunk in
+            (match Check.Diff.run ~mutation:Bufins.Dp.Bad_power_bound shrunk with
             | Check.Diff.Fail _ -> ()
             | _ -> Alcotest.fail "shrunk instance no longer fails mutated");
             match Check.Diff.run shrunk with

@@ -14,7 +14,7 @@ let brute_gen =
 let two_lib =
   [
     small_buffer;
-    Tech.Buffer.make ~name:"i0" ~inverting:true ~c_in:1.5e-15 ~r_b:140.0 ~d_b:15e-12 ~nm:0.6;
+    Tech.Buffer.make ~name:"i0" ~inverting:true ~c_in:1.5e-15 ~r_b:140.0 ~d_b:15e-12 ~nm:0.6 ();
   ]
 
 let count_inversions tree sink =

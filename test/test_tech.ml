@@ -3,7 +3,7 @@ open Helpers
 let tests =
   [
     case "gate delay is linear" (fun () ->
-        let b = Tech.Buffer.make ~name:"x" ~inverting:false ~c_in:1e-15 ~r_b:100.0 ~d_b:10e-12 ~nm:0.8 in
+        let b = Tech.Buffer.make ~name:"x" ~inverting:false ~c_in:1e-15 ~r_b:100.0 ~d_b:10e-12 ~nm:0.8 () in
         feq_rel "delay" ~eps:1e-12 (10e-12 +. (100.0 *. 50e-15)) (Tech.Buffer.gate_delay b ~load:50e-15));
     case "default library shape" (fun () ->
         Alcotest.(check int) "eleven buffers" 11 (List.length lib);
@@ -59,7 +59,7 @@ let tests =
         Alcotest.(check bool) "longer span" true (span cu > span al));
     case "buffer validation" (fun () ->
         Alcotest.(check bool) "bad r" true
-          (match Tech.Buffer.make ~name:"x" ~inverting:false ~c_in:1e-15 ~r_b:0.0 ~d_b:0.0 ~nm:0.8 with
+          (match Tech.Buffer.make ~name:"x" ~inverting:false ~c_in:1e-15 ~r_b:0.0 ~d_b:0.0 ~nm:0.8 () with
           | exception Assert_failure _ -> true
           | _ -> false));
   ]

@@ -180,7 +180,7 @@ let trace_op_gen =
                ]))
 
 let candidate_tests =
-  let mk c q = { Bufins.Candidate.c; q; i = 0.0; ns = 1.0; meta = 0.0; tr = 0.0 } in
+  let mk c q = { Bufins.Candidate.c; q; i = 0.0; ns = 1.0; p = 0.0; meta = 0.0; tr = 0.0 } in
   let gen =
     QCheck2.Gen.(
       list_size (int_range 1 30)
